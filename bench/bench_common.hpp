@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared reporting helpers for the figure/table bench binaries. Every bench
+// prints (a) the configuration it ran, (b) the regenerated series in the
+// paper's normalization (SRPT = 1), and optionally CSV via --csv.
+
+#include <iostream>
+#include <string>
+
+#include "experiments/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace msol::bench {
+
+inline experiments::CampaignConfig config_from_cli(const util::Cli& cli,
+                                                   platform::PlatformClass cls) {
+  experiments::CampaignConfig config;
+  config.platform_class = cls;
+  config.num_platforms =
+      static_cast<int>(cli.get_int("platforms", config.num_platforms));
+  config.num_slaves = static_cast<int>(cli.get_int("slaves", config.num_slaves));
+  config.num_tasks = static_cast<int>(cli.get_int("tasks", config.num_tasks));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2006));
+  config.load = cli.get_double("load", config.load);
+  config.lookahead =
+      static_cast<int>(cli.get_int("lookahead", config.num_tasks));
+  const std::string arrival = cli.get("arrival", "poisson");
+  if (arrival == "zero") config.arrival = experiments::ArrivalProcess::kAllAtZero;
+  else if (arrival == "bursty") config.arrival = experiments::ArrivalProcess::kBursty;
+  else config.arrival = experiments::ArrivalProcess::kPoisson;
+  return config;
+}
+
+inline void print_config(const experiments::CampaignConfig& config) {
+  std::cout << "platform class : " << to_string(config.platform_class) << "\n"
+            << "platforms      : " << config.num_platforms << " (seed "
+            << config.seed << ")\n"
+            << "slaves         : " << config.num_slaves << "\n"
+            << "tasks          : " << config.num_tasks << " ("
+            << to_string(config.arrival) << ", load " << config.load << ")\n"
+            << "lookahead K    : " << config.lookahead << "\n\n";
+}
+
+/// "mean +/-ci95" cell for normalized columns.
+inline std::string fmt_ci(const util::Summary& summary) {
+  return util::fmt(summary.mean) + " +-" + util::fmt(summary.ci95_half_width);
+}
+
+/// Figure-1 style block: normalized (to SRPT) makespan / sum-flow /
+/// max-flow per algorithm, in the paper's left-to-right metric order, with
+/// 95% confidence half-widths over the campaign's platforms.
+inline void print_campaign(const experiments::CampaignResult& result,
+                           bool csv) {
+  util::Table table({"algorithm", "norm-makespan", "norm-sum-flow",
+                     "norm-max-flow", "makespan[s]", "sum-flow[s]",
+                     "max-flow[s]"});
+  for (const experiments::AlgorithmResult& alg : result.algorithms) {
+    table.add_row({alg.name, fmt_ci(alg.norm_makespan),
+                   fmt_ci(alg.norm_sum_flow), fmt_ci(alg.norm_max_flow),
+                   util::fmt(alg.makespan.mean, 1),
+                   util::fmt(alg.sum_flow.mean, 1),
+                   util::fmt(alg.max_flow.mean, 1)});
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+}
+
+}  // namespace msol::bench

@@ -1,0 +1,87 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the one-port
+// engine, the heuristics' decision rules, the exhaustive solver and the
+// SLJF planner. These are the knobs that bound campaign turnaround.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "offline/deadline_solver.hpp"
+#include "offline/exhaustive.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace msol;
+
+platform::Platform bench_platform(int m) {
+  util::Rng rng(42);
+  return platform::PlatformGenerator().generate(
+      platform::PlatformClass::kFullyHeterogeneous, m, rng);
+}
+
+void BM_EngineListScheduling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const platform::Platform plat = bench_platform(5);
+  util::Rng rng(7);
+  const core::Workload work = core::Workload::poisson(n, 5.0, rng);
+  const auto ls = algorithms::make_scheduler("LS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate(plat, work, *ls).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineListScheduling)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EngineSrptDeferHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const platform::Platform plat = bench_platform(5);
+  const core::Workload work = core::Workload::all_at_zero(n);
+  const auto srpt = algorithms::make_scheduler("SRPT");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate(plat, work, *srpt).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSrptDeferHeavy)->Arg(100)->Arg(1000);
+
+void BM_SljfPlanner(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(42);
+  const platform::Platform plat = platform::PlatformGenerator().generate(
+      platform::PlatformClass::kCommHomogeneous, 5, rng);
+  const std::vector<core::Time> releases(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline::sljf_plan(plat, releases).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SljfPlanner)->Arg(100)->Arg(1000);
+
+void BM_SljfwcPlanner(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const platform::Platform plat = bench_platform(5);
+  const std::vector<core::Time> releases(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline::sljfwc_plan(plat, releases).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SljfwcPlanner)->Arg(100)->Arg(1000);
+
+void BM_ExhaustiveSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const platform::Platform plat = bench_platform(3);
+  const core::Workload work = core::Workload::all_at_zero(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        offline::solve_optimal(plat, work, core::Objective::kMakespan)
+            .objective);
+  }
+}
+BENCHMARK(BM_ExhaustiveSolver)->Arg(6)->Arg(9)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

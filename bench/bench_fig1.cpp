@@ -1,0 +1,29 @@
+// Regenerates Figure 1 (a)-(d): the seven heuristics on ten random
+// platforms per class, one thousand tasks, metrics normalized to SRPT.
+// Compiled four times (one binary per subfigure) with FIG1_CLASS set.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+#ifndef FIG1_CLASS
+#error "compile with -DFIG1_CLASS=k..."
+#endif
+#ifndef FIG1_LABEL
+#error "compile with -DFIG1_LABEL=..."
+#endif
+
+int main(int argc, char** argv) {
+  using namespace msol;
+  const util::Cli cli(argc, argv);
+  experiments::CampaignConfig config = bench::config_from_cli(
+      cli, platform::PlatformClass::FIG1_CLASS);
+
+  std::cout << "=== Figure 1(" << FIG1_LABEL << "): " << to_string(config.platform_class)
+            << " platforms, normalized to SRPT ===\n";
+  bench::print_config(config);
+  bench::print_campaign(experiments::run_campaign(config), cli.has("csv"));
+  std::cout << "\n(left-to-right in the paper's figure: makespan, sum-flow, "
+               "max-flow; SRPT == 1 by construction)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Do the lower bounds survive randomization? Table 1 holds for
+// deterministic algorithms; a randomized policy can hope to beat a bound
+// *in expectation* because the adversary's probe sees a distribution, not a
+// committed choice. This bench plays each theorem adversary against RLS
+// (list scheduling with randomized near-tie breaking) over many seeds and
+// reports the expected and worst ratios next to the deterministic bound.
+
+#include <iostream>
+
+#include "algorithms/randomized_ls.hpp"
+#include "algorithms/registry.hpp"
+#include "theory/adversary.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msol;
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 200));
+  const double theta = cli.get_double("theta", 0.15);
+
+  std::cout << "=== Randomization vs the deterministic bounds: RLS(theta="
+            << theta << ") against the nine adversaries, " << seeds
+            << " seeds ===\n\n";
+
+  util::Table table({"thm", "objective", "bound", "LS-ratio", "RLS-mean",
+                     "RLS-min", "RLS-max", "beats-bound-in-expectation"});
+  for (const auto& adversary : theory::all_theorem_adversaries()) {
+    const theory::TheoremInfo& info = adversary->info();
+    const auto ls = algorithms::make_scheduler("LS");
+    const double ls_ratio = adversary->run(*ls).ratio;
+
+    std::vector<double> ratios;
+    ratios.reserve(static_cast<std::size_t>(seeds));
+    for (int seed = 0; seed < seeds; ++seed) {
+      algorithms::RandomizedLs rls(theta, static_cast<std::uint64_t>(seed));
+      ratios.push_back(adversary->run(rls).ratio);
+    }
+    const util::Summary summary = util::summarize(ratios);
+    table.add_row({std::to_string(info.number), to_string(info.objective),
+                   util::fmt(info.bound), util::fmt(ls_ratio),
+                   util::fmt(summary.mean), util::fmt(summary.min),
+                   util::fmt(summary.max),
+                   summary.mean < info.bound - 1e-3 ? "yes" : "no"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\n(the adversary's probe tree was built for deterministic "
+               "prey; 'yes' rows show randomized\n tie-breaking slipping "
+               "below a bound in expectation — individual runs can still be "
+               "worse than LS)\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// The paper's stated future work (Sec 6): "A detailed comparison of all the
+// heuristics ... on significantly larger platforms (with several tens of
+// slaves)". This bench runs the Figure-1(d) campaign at m = 5, 10, 20, 40
+// and reports whether the communication-aware heuristics keep their edge.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msol;
+  const util::Cli cli(argc, argv);
+
+  std::cout << "=== Scale-up: fully heterogeneous platforms, growing slave "
+               "count (paper Sec 6 future work) ===\n\n";
+
+  util::Table table({"slaves", "algorithm", "norm-makespan", "norm-sum-flow",
+                     "norm-max-flow"});
+  for (int m : {5, 10, 20, 40}) {
+    experiments::CampaignConfig config = bench::config_from_cli(
+        cli, platform::PlatformClass::kFullyHeterogeneous);
+    config.num_slaves = m;
+    config.num_platforms = static_cast<int>(cli.get_int("platforms", 5));
+    const experiments::CampaignResult result =
+        experiments::run_campaign(config);
+    for (const experiments::AlgorithmResult& alg : result.algorithms) {
+      table.add_row({std::to_string(m), alg.name,
+                     util::fmt(alg.norm_makespan.mean),
+                     util::fmt(alg.norm_sum_flow.mean),
+                     util::fmt(alg.norm_max_flow.mean)});
+    }
+  }
+  std::cout << (cli.has("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\n(SRPT == 1; values < 1 beat SRPT at that platform size)\n";
+  return 0;
+}

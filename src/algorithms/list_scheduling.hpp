@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// LS — list scheduling (Sec 4.1): "sends a task as soon as possible to the
+/// slave that would finish it first, according to the current load
+/// estimation".
+///
+/// The estimate is the engine's completion_if_assigned(): port availability
+/// + c_j + queued work on the slave + p_j. Unlike SRPT, LS is happy to queue
+/// tasks on a busy slave, and unlike the round-robins it reacts to both
+/// sources of heterogeneity — which is why it stays competitive on every
+/// platform class in Figure 1.
+class ListScheduling : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "LS"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,18 @@
+#include "algorithms/min_ready.hpp"
+
+namespace msol::algorithms {
+
+core::Decision MinReady::decide(const core::OnePortEngine& engine) {
+  core::SlaveId best = 0;
+  core::Time best_ready = engine.slave_ready_at(0);
+  for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
+    const core::Time ready = engine.slave_ready_at(j);
+    if (ready < best_ready - core::kTimeEps) {
+      best = j;
+      best_ready = ready;
+    }
+  }
+  return core::Assign{engine.pending().front(), best};
+}
+
+}  // namespace msol::algorithms

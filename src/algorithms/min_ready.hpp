@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// The paper's introduction strategy for homogeneous platforms: "send the
+/// first unscheduled task to the processor whose ready-time is minimum".
+///
+/// Optimal on fully homogeneous platforms (where it coincides with LS), but
+/// deliberately blind to both c_j and p_j, so it serves as the cleanest
+/// illustration of why heterogeneity breaks ready-time-only reasoning: a
+/// nearly idle slave may still be the wrong target if its link or CPU is
+/// slow. Ties break on the lower slave id.
+class MinReady : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "MINREADY"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+};
+
+}  // namespace msol::algorithms

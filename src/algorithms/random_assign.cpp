@@ -1,0 +1,11 @@
+#include "algorithms/random_assign.hpp"
+
+namespace msol::algorithms {
+
+core::Decision RandomAssign::decide(const core::OnePortEngine& engine) {
+  const core::SlaveId slave = static_cast<core::SlaveId>(
+      rng_.uniform_int(0, engine.platform().size() - 1));
+  return core::Assign{engine.pending().front(), slave};
+}
+
+}  // namespace msol::algorithms

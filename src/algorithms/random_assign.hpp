@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace msol::algorithms {
+
+/// Uniform-random slave choice; a floor baseline for the campaign tables
+/// (any sensible heuristic should beat it on heterogeneous platforms).
+class RandomAssign : public core::OnlineScheduler {
+ public:
+  explicit RandomAssign(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "RANDOM"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override { rng_ = util::Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,41 @@
+#include "algorithms/randomized_ls.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace msol::algorithms {
+
+RandomizedLs::RandomizedLs(double theta, std::uint64_t seed)
+    : theta_(theta), seed_(seed), rng_(seed) {
+  if (theta_ < 0.0) {
+    throw std::invalid_argument("RandomizedLs: theta must be >= 0");
+  }
+}
+
+core::Decision RandomizedLs::decide(const core::OnePortEngine& engine) {
+  const core::TaskId task = engine.pending().front();
+  const int m = engine.platform().size();
+
+  std::vector<core::Time> completion(static_cast<std::size_t>(m));
+  core::Time best = 0.0;
+  for (core::SlaveId j = 0; j < m; ++j) {
+    completion[static_cast<std::size_t>(j)] =
+        engine.completion_if_assigned(task, j);
+    if (j == 0 || completion[static_cast<std::size_t>(j)] < best) {
+      best = completion[static_cast<std::size_t>(j)];
+    }
+  }
+
+  std::vector<core::SlaveId> candidates;
+  const core::Time cutoff = best * (1.0 + theta_) + core::kTimeEps;
+  for (core::SlaveId j = 0; j < m; ++j) {
+    if (completion[static_cast<std::size_t>(j)] <= cutoff) {
+      candidates.push_back(j);
+    }
+  }
+  const std::size_t pick = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(candidates.size()) - 1));
+  return core::Assign{task, candidates[pick]};
+}
+
+}  // namespace msol::algorithms

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace msol::algorithms {
+
+/// RLS — list scheduling with randomized tie-breaking.
+///
+/// Table 1's lower bounds hold for *deterministic* algorithms: the
+/// adversary predicts the decision at each probe and punishes it. RLS
+/// blunts that prediction by choosing uniformly among all slaves whose
+/// estimated completion is within a (1 + theta) factor of the best.
+/// theta = 0 randomizes only exact ties; larger theta trades placement
+/// quality for unpredictability. bench_randomization measures its
+/// *expected* ratio against each theorem adversary.
+class RandomizedLs : public core::OnlineScheduler {
+ public:
+  RandomizedLs(double theta, std::uint64_t seed);
+
+  std::string name() const override { return "RLS"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override { rng_ = util::Rng(seed_); }
+
+ private:
+  double theta_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace msol::algorithms

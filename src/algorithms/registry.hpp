@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// Instantiates a scheduler by its paper name: "SRPT", "LS", "RR", "RRC",
+/// "RRP", "SLJF", "SLJFWC", "RANDOM" — or a library addition: "WRR",
+/// "MINREADY", and "LS-K<k>" (list scheduling throttled to at most k
+/// uncompleted tasks per slave). `lookahead` configures the SLJF variants,
+/// `seed` configures RANDOM. Throws std::invalid_argument on unknown names.
+std::unique_ptr<core::OnlineScheduler> make_scheduler(
+    const std::string& name, int lookahead = 1000, std::uint64_t seed = 42);
+
+/// The seven algorithms of the paper's Section 4, in figure order.
+std::vector<std::string> paper_algorithm_names();
+
+/// The paper's seven plus this library's additions: "WRR" (throughput-
+/// optimal weighted round robin), "MINREADY" (the intro's homogeneous-
+/// optimal rule), and the "RANDOM" floor baseline.
+std::vector<std::string> extended_algorithm_names();
+
+/// Fresh instances of the paper's seven algorithms.
+std::vector<std::unique_ptr<core::OnlineScheduler>> paper_algorithms(
+    int lookahead = 1000);
+
+}  // namespace msol::algorithms

@@ -1,0 +1,17 @@
+#include "algorithms/replay.hpp"
+
+#include <stdexcept>
+
+namespace msol::algorithms {
+
+Replay::Replay(std::vector<core::SlaveId> assignment)
+    : assignment_(std::move(assignment)) {}
+
+core::Decision Replay::decide(const core::OnePortEngine& engine) {
+  if (next_ >= assignment_.size()) {
+    throw std::logic_error("Replay: more tasks than planned assignments");
+  }
+  return core::Assign{engine.pending().front(), assignment_[next_++]};
+}
+
+}  // namespace msol::algorithms

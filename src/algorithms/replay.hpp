@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// Feeds a fixed assignment (slave of the i-th released task) through the
+/// on-line engine. Used to (a) cross-check the engine against the off-line
+/// forward simulator, and (b) reproduce the explicit schedules written out
+/// in the paper's proofs.
+class Replay : public core::OnlineScheduler {
+ public:
+  explicit Replay(std::vector<core::SlaveId> assignment);
+
+  std::string name() const override { return "Replay"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override { next_ = 0; }
+
+ private:
+  std::vector<core::SlaveId> assignment_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,40 @@
+#include "algorithms/round_robin.hpp"
+
+namespace msol::algorithms {
+
+RoundRobin::RoundRobin(RoundRobinOrder order) : order_(order) {}
+
+std::string RoundRobin::name() const {
+  switch (order_) {
+    case RoundRobinOrder::kCommPlusComp: return "RR";
+    case RoundRobinOrder::kComm: return "RRC";
+    case RoundRobinOrder::kComp: return "RRP";
+  }
+  return "RR?";
+}
+
+void RoundRobin::reset() {
+  cycle_.clear();
+  next_ = 0;
+}
+
+core::Decision RoundRobin::decide(const core::OnePortEngine& engine) {
+  if (cycle_.empty()) {
+    switch (order_) {
+      case RoundRobinOrder::kCommPlusComp:
+        cycle_ = engine.platform().order_by_comm_plus_comp();
+        break;
+      case RoundRobinOrder::kComm:
+        cycle_ = engine.platform().order_by_comm();
+        break;
+      case RoundRobinOrder::kComp:
+        cycle_ = engine.platform().order_by_comp();
+        break;
+    }
+  }
+  const core::SlaveId slave = cycle_[next_ % cycle_.size()];
+  ++next_;
+  return core::Assign{engine.pending().front(), slave};
+}
+
+}  // namespace msol::algorithms

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// The prescribed slave ordering of the three round-robin variants
+/// (Sec 4.1).
+enum class RoundRobinOrder {
+  kCommPlusComp,  ///< RR:  ascending c_j + p_j
+  kComm,          ///< RRC: ascending c_j
+  kComp,          ///< RRP: ascending p_j
+};
+
+/// RR / RRC / RRP — cyclic assignment over a fixed slave ordering.
+///
+/// These are the paper's strawmen: RRC ignores compute heterogeneity and is
+/// punished on comm-homogeneous platforms (Fig 1b); RRP ignores link
+/// heterogeneity and is punished on comp-homogeneous platforms (Fig 1c).
+class RoundRobin : public core::OnlineScheduler {
+ public:
+  explicit RoundRobin(RoundRobinOrder order);
+
+  std::string name() const override;
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override;
+
+ private:
+  RoundRobinOrder order_;
+  std::vector<core::SlaveId> cycle_;  ///< lazily derived from the platform
+  std::size_t next_ = 0;
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,62 @@
+#include "algorithms/sljf.hpp"
+
+#include <stdexcept>
+
+#include "offline/deadline_solver.hpp"
+
+namespace msol::algorithms {
+
+SljfBase::SljfBase(int lookahead, bool comm_aware)
+    : lookahead_(lookahead), comm_aware_(comm_aware) {
+  if (lookahead_ < 0) {
+    throw std::invalid_argument("SLJF: lookahead must be >= 0");
+  }
+}
+
+std::string SljfBase::name() const { return comm_aware_ ? "SLJFWC" : "SLJF"; }
+
+void SljfBase::reset() {
+  planned_ = false;
+  plan_.clear();
+  sent_ = 0;
+}
+
+core::Decision SljfBase::decide(const core::OnePortEngine& engine) {
+  if (!planned_) {
+    planned_ = true;
+    if (lookahead_ > 0) {
+      // Plan the first K sends as if the whole batch were available at the
+      // planning instant: the on-line wrapper cannot know future release
+      // times, so the plan is a pure assignment pattern and the engine's
+      // actual timing applies when tasks really arrive.
+      const std::vector<core::Time> releases(
+          static_cast<std::size_t>(lookahead_), engine.now());
+      const offline::OfflinePlan plan =
+          comm_aware_ ? offline::sljfwc_plan(engine.platform(), releases)
+                      : offline::sljf_plan(engine.platform(), releases);
+      plan_ = plan.assignment;
+    }
+  }
+
+  const core::TaskId task = engine.pending().front();
+  if (sent_ < plan_.size()) {
+    const core::SlaveId slave = plan_[sent_];
+    ++sent_;
+    return core::Assign{task, slave};
+  }
+
+  // Tail: list-scheduling fallback.
+  ++sent_;
+  core::SlaveId best = 0;
+  core::Time best_completion = engine.completion_if_assigned(task, 0);
+  for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
+    const core::Time completion = engine.completion_if_assigned(task, j);
+    if (completion < best_completion - core::kTimeEps) {
+      best = j;
+      best_completion = completion;
+    }
+  }
+  return core::Assign{task, best};
+}
+
+}  // namespace msol::algorithms

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// SLJF / SLJFWC — the paper's two plan-ahead heuristics (Sec 4.1),
+/// originally off-line algorithms from [23], made on-line exactly the way
+/// the paper describes: "at the beginning, we start to compute the
+/// assignment of a certain number of tasks ... Once the last assignment is
+/// done, we continue to send the remaining tasks, each task being sent to
+/// the processor that would finish it the earliest" (i.e. list scheduling
+/// for the tail).
+///
+/// `lookahead` is the planned task count K ("the greater this number, the
+/// better the final assignment"); the plan is computed on the first decision
+/// from the backwards deadline construction in offline/deadline_solver.hpp.
+/// The i-th send overall goes to plan[i] for i < K; later sends fall back
+/// to LS.
+class SljfBase : public core::OnlineScheduler {
+ public:
+  explicit SljfBase(int lookahead, bool comm_aware);
+
+  std::string name() const override;
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override;
+
+ private:
+  int lookahead_;
+  bool comm_aware_;  ///< false = SLJF, true = SLJFWC
+  bool planned_ = false;
+  std::vector<core::SlaveId> plan_;
+  std::size_t sent_ = 0;  ///< sends committed so far (plan cursor)
+};
+
+/// SLJF: optimal-makespan planner for communication-homogeneous platforms;
+/// blind to link heterogeneity (uses the mean c).
+class Sljf : public SljfBase {
+ public:
+  explicit Sljf(int lookahead = 1000) : SljfBase(lookahead, false) {}
+};
+
+/// SLJFWC: the comm-aware variant built for computation-homogeneous
+/// platforms.
+class Sljfwc : public SljfBase {
+ public:
+  explicit Sljfwc(int lookahead = 1000) : SljfBase(lookahead, true) {}
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,20 @@
+#include "algorithms/srpt.hpp"
+
+namespace msol::algorithms {
+
+core::Decision Srpt::decide(const core::OnePortEngine& engine) {
+  const platform::Platform& platform = engine.platform();
+  core::SlaveId best = -1;
+  for (core::SlaveId j = 0; j < platform.size(); ++j) {
+    if (!engine.slave_free_now(j)) continue;
+    if (best < 0 || platform.comp(j) < platform.comp(best) ||
+        (platform.comp(j) == platform.comp(best) &&
+         platform.comm(j) < platform.comm(best))) {
+      best = j;
+    }
+  }
+  if (best < 0) return core::Defer{};  // wait for the first slave to finish
+  return core::Assign{engine.pending().front(), best};
+}
+
+}  // namespace msol::algorithms

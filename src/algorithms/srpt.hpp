@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// SRPT as specialized by the paper (Sec 4.1) for identical tasks without
+/// preemption: "it sends a task to the fastest free slave; if no slave is
+/// currently free, it waits for the first slave to finish its task, and
+/// then sends it a new one."
+///
+/// "Fastest" means smallest p_j; ties break on smaller c_j, then id.
+/// Note the deliberate idling: SRPT never queues work on a busy slave,
+/// which is exactly why the static policies beat it in Figure 1.
+class Srpt : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "SRPT"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+};
+
+}  // namespace msol::algorithms

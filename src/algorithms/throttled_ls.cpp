@@ -1,0 +1,40 @@
+#include "algorithms/throttled_ls.hpp"
+
+#include <stdexcept>
+
+namespace msol::algorithms {
+
+ThrottledLs::ThrottledLs(int max_queue) : max_queue_(max_queue) {
+  if (max_queue_ < 1) {
+    throw std::invalid_argument("ThrottledLs: max_queue must be >= 1");
+  }
+}
+
+std::string ThrottledLs::name() const {
+  return "LS-K" + std::to_string(max_queue_);
+}
+
+void ThrottledLs::reset() {}
+
+int ThrottledLs::in_system(const core::OnePortEngine& engine,
+                           core::SlaveId j) const {
+  return engine.tasks_in_system(j);
+}
+
+core::Decision ThrottledLs::decide(const core::OnePortEngine& engine) {
+  const core::TaskId task = engine.pending().front();
+  core::SlaveId best = -1;
+  core::Time best_completion = 0.0;
+  for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
+    if (in_system(engine, j) >= max_queue_) continue;
+    const core::Time completion = engine.completion_if_assigned(task, j);
+    if (best < 0 || completion < best_completion - core::kTimeEps) {
+      best = j;
+      best_completion = completion;
+    }
+  }
+  if (best < 0) return core::Defer{};  // every slave is saturated
+  return core::Assign{task, best};
+}
+
+}  // namespace msol::algorithms

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// LS(K) — list scheduling with admission throttling.
+///
+/// The campaigns expose a tension the paper's portfolio leaves open: LS
+/// commits every task to a slave the moment the port frees, which is great
+/// for makespan but builds deep slave queues that the flow objectives
+/// punish under sustained load; SRPT never queues (at most one task per
+/// slave) and wins flows by idling. LS(K) interpolates: it assigns the
+/// front task to the earliest-completion slave *among slaves with fewer
+/// than K uncompleted tasks*, and defers when every slave is saturated.
+///
+/// K = 1 reproduces SRPT-like no-queueing (with LS's completion-time slave
+/// choice); K -> infinity reproduces LS. The sweep lives in
+/// bench_throttle.
+class ThrottledLs : public core::OnlineScheduler {
+ public:
+  explicit ThrottledLs(int max_queue);
+
+  std::string name() const override;
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override;
+
+ private:
+  /// Uncompleted tasks currently committed to slave j (received or in
+  /// flight), derived from the engine's committed schedule at now().
+  int in_system(const core::OnePortEngine& engine, core::SlaveId j) const;
+
+  int max_queue_;
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,51 @@
+#include "algorithms/weighted_round_robin.hpp"
+
+#include <numeric>
+
+namespace msol::algorithms {
+
+std::vector<double> WeightedRoundRobin::shares(
+    const platform::Platform& platform) {
+  std::vector<double> x(static_cast<std::size_t>(platform.size()), 0.0);
+  double port_budget = 1.0;  // seconds of port time per second
+  for (core::SlaveId j : platform.order_by_comm()) {
+    if (port_budget <= 0.0) break;
+    const double full_rate = 1.0 / platform.comp(j);
+    const double port_cost = platform.comm(j) * full_rate;
+    if (port_cost <= port_budget) {
+      x[static_cast<std::size_t>(j)] = full_rate;
+      port_budget -= port_cost;
+    } else {
+      x[static_cast<std::size_t>(j)] = port_budget / platform.comm(j);
+      port_budget = 0.0;
+    }
+  }
+  return x;
+}
+
+void WeightedRoundRobin::reset() {
+  share_.clear();
+  credit_.clear();
+}
+
+core::Decision WeightedRoundRobin::decide(const core::OnePortEngine& engine) {
+  if (share_.empty()) {
+    share_ = shares(engine.platform());
+    const double total = std::accumulate(share_.begin(), share_.end(), 0.0);
+    for (double& s : share_) s /= total;
+    credit_.assign(share_.size(), 0.0);
+  }
+  // Stride scheduling: everyone accrues its share, the largest credit wins
+  // and pays one task. Zero-share slaves never accumulate credit.
+  core::SlaveId best = 0;
+  for (std::size_t j = 0; j < share_.size(); ++j) {
+    credit_[j] += share_[j];
+    if (credit_[j] > credit_[static_cast<std::size_t>(best)] + 1e-15) {
+      best = static_cast<core::SlaveId>(j);
+    }
+  }
+  credit_[static_cast<std::size_t>(best)] -= 1.0;
+  return core::Assign{engine.pending().front(), best};
+}
+
+}  // namespace msol::algorithms

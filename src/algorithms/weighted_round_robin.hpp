@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms {
+
+/// WRR — weighted round robin with throughput-optimal shares.
+///
+/// The paper's RR variants hand every slave the same task count, which
+/// collapses on strongly heterogeneous platforms (slow slaves drown). WRR
+/// fixes exactly that while staying static and stateless about load: it
+/// solves the steady-state one-port throughput LP
+///
+///     maximize sum_j x_j   s.t.  sum_j c_j x_j <= 1,  x_j <= 1/p_j
+///
+/// (cheapest links saturate first) and then emits slaves by stride
+/// scheduling on the optimal shares, so slave j receives a fraction
+/// x_j / sum x of the stream with bounded burstiness. Slaves outside the
+/// LP's support are never used.
+class WeightedRoundRobin : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "WRR"; }
+  core::Decision decide(const core::OnePortEngine& engine) override;
+  void reset() override;
+
+  /// The LP shares (tasks/s per slave) for a platform; exposed for tests
+  /// and for capacity-planning callers.
+  static std::vector<double> shares(const platform::Platform& platform);
+
+ private:
+  std::vector<double> share_;   ///< normalized to sum 1 over the support
+  std::vector<double> credit_;  ///< stride-scheduling deficit counters
+};
+
+}  // namespace msol::algorithms

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+
+/// Transient background load on a slave: any task *starting* its compute in
+/// [begin, end) runs `factor` times slower. Models another user's job or a
+/// daemon stealing cycles — the robustness dimension Figure 2 gestures at
+/// from the task side, here injected from the platform side.
+struct SlowdownWindow {
+  SlaveId slave = 0;
+  Time begin = 0.0;
+  Time end = 0.0;
+  double factor = 1.0;  ///< > 1 slows the slave down
+};
+
+/// Multiplicative slowdown applying to a compute that starts at
+/// `comp_start` on `slave` (overlapping windows compound).
+double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
+                          SlaveId slave, Time comp_start);
+
+/// Engine knobs.
+struct EngineOptions {
+  /// Number of simultaneous sends the master may have in flight.
+  /// 1 is the paper's one-port model; 0 means unbounded (the macro-dataflow
+  /// model the paper argues against, kept for the ablation bench).
+  int port_capacity = 1;
+  /// Background-load injection; empty = the paper's pristine platforms.
+  /// Schedulers are NOT told about these windows — they plan with nominal
+  /// (c_j, p_j) and the engine charges the real, degraded durations.
+  std::vector<SlowdownWindow> slowdowns;
+  /// Record a decision/event log readable via OnePortEngine::trace().
+  bool enable_trace = false;
+};
+
+/// Event-driven simulator of the one-port master-slave model (Sec 2).
+///
+/// Semantics, matching the proofs of Sec 3:
+///  * a send for task i on slave j occupies one master port for
+///    c_j * comm_factor(i), starting no earlier than r_i;
+///  * slave j executes arrivals in order, p_j * comp_factor(i) each, and is
+///    never idle while it has a received, unexecuted task;
+///  * the scheduler is consulted whenever a port is free and a released task
+///    is pending, and may Defer (leave the master idle until the next event).
+///
+/// Adversary support: run_until(t) advances the simulation so that every
+/// decision instant strictly before t has been resolved, then parks the
+/// clock at t *without* letting the master act at exactly t. An adversary
+/// may then observe the committed prefix and inject_task() new releases; the
+/// next run call resumes decisions at t with the new information. This is
+/// exactly the probe discipline of the paper's lower-bound proofs.
+class OnePortEngine {
+ public:
+  OnePortEngine(platform::Platform platform, OnlineScheduler& scheduler,
+                EngineOptions options = {});
+
+  /// Loads a whole workload up front (releases may be in the future;
+  /// the scheduler still only sees tasks once released).
+  void load(const Workload& workload);
+
+  /// Adds one future task; release must be >= now().
+  TaskId inject_task(TaskSpec spec);
+
+  /// Advances until every decision strictly before `t` is resolved, then
+  /// sets now() == t.
+  void run_until(Time t);
+
+  /// Runs until all loaded/injected tasks are completed; now() becomes the
+  /// overall completion time. Throws std::logic_error if the scheduler
+  /// defers forever (deadlock).
+  void run_to_completion();
+
+  /// --- Observable state (the scheduler/adversary view) -------------------
+
+  Time now() const { return now_; }
+  const platform::Platform& platform() const { return platform_; }
+
+  /// Earliest time a master port is (or becomes) free, >= now().
+  Time port_free_at() const;
+  /// True if an unused port exists right now.
+  bool port_free_now() const;
+
+  /// Time slave j finishes everything committed to it so far (its
+  /// "ready-time" in the paper's terminology); == now() when idle.
+  Time slave_ready_at(SlaveId j) const;
+  /// True if slave j has no committed work beyond now().
+  bool slave_free_now(SlaveId j) const;
+  /// Committed-but-uncompleted tasks on slave j at now() (in flight on the
+  /// link, waiting in the slave's queue, or computing). Queue-depth-aware
+  /// policies (e.g. ThrottledLs) throttle on this.
+  int tasks_in_system(SlaveId j) const;
+
+  /// Released, unassigned task ids in FIFO release order.
+  const std::deque<TaskId>& pending() const { return pending_; }
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+
+  int total_tasks() const { return static_cast<int>(tasks_.size()); }
+  int completed_or_committed() const { return committed_; }
+  const TaskSpec& task_spec(TaskId i) const;
+
+  /// Slave the task was committed to, or nullopt if still unassigned.
+  std::optional<SlaveId> assignment_of(TaskId task) const;
+  /// True once the send for `task` has begun (commitment implies the send
+  /// starts immediately in this engine).
+  bool send_started(TaskId task) const;
+
+  /// Estimated completion time of a *hypothetical* commitment of `task` to
+  /// slave j made at time now(): the quantity list scheduling minimizes.
+  Time completion_if_assigned(TaskId task, SlaveId j) const;
+
+  /// The committed schedule so far (records are complete at commitment,
+  /// since a commitment fully determines the task's trajectory).
+  const Schedule& schedule() const { return schedule_; }
+
+  /// The decision/event log; empty unless options.enable_trace was set.
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct TaskState {
+    TaskSpec spec;
+    bool released = false;
+    bool committed = false;
+    SlaveId slave = -1;
+  };
+
+  void process_releases();
+  /// One decision round; returns true if an assignment was committed.
+  bool try_decide();
+  void commit(TaskId task, SlaveId slave);
+  /// Earliest event strictly after now() (release, port free, slave free),
+  /// or nullopt when nothing is scheduled to happen.
+  std::optional<Time> next_wakeup() const;
+  void advance(Time limit, bool allow_decisions_at_limit);
+
+  platform::Platform platform_;
+  OnlineScheduler& scheduler_;
+  EngineOptions options_;
+
+  Time now_ = 0.0;
+  std::vector<TaskState> tasks_;
+  std::vector<TaskId> release_order_;  ///< task ids sorted by release
+  std::size_t next_release_idx_ = 0;
+  std::deque<TaskId> pending_;
+  std::vector<Time> port_busy_until_;  ///< size == port_capacity (1+)
+  std::vector<Time> slave_ready_;
+  /// Per-slave completion instants in commit order (monotone per slave);
+  /// supports tasks_in_system() lookups and completion wake-ups for
+  /// schedulers that Defer until a queue drains.
+  std::vector<std::vector<Time>> slave_comp_ends_;
+  int committed_ = 0;
+  std::optional<Time> scheduler_wake_;  ///< pending WaitUntil request
+  Schedule schedule_;
+  Trace trace_;
+};
+
+/// Convenience: run `scheduler` on (platform, workload) to completion and
+/// return the resulting schedule.
+Schedule simulate(const platform::Platform& platform, const Workload& workload,
+                  OnlineScheduler& scheduler, EngineOptions options = {});
+
+}  // namespace msol::core

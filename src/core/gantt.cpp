@@ -1,0 +1,55 @@
+#include "core/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace msol::core {
+
+namespace {
+
+char task_glyph(TaskId id) {
+  return static_cast<char>('0' + (id % 10));
+}
+
+void paint(std::string& row, Time start, Time end, Time horizon, int columns,
+           char glyph) {
+  if (horizon <= 0.0) return;
+  const double scale = static_cast<double>(columns) / horizon;
+  int lo = static_cast<int>(start * scale);
+  int hi = static_cast<int>(end * scale);
+  lo = std::clamp(lo, 0, columns - 1);
+  hi = std::clamp(hi, lo, columns - 1);
+  for (int i = lo; i <= hi; ++i) row[static_cast<std::size_t>(i) ] = glyph;
+}
+
+}  // namespace
+
+std::string render_gantt(const platform::Platform& platform,
+                         const Schedule& schedule, int columns) {
+  columns = std::max(columns, 10);
+  const Time horizon = schedule.makespan();
+
+  std::string master(static_cast<std::size_t>(columns), '.');
+  std::vector<std::string> slaves(
+      static_cast<std::size_t>(platform.size()),
+      std::string(static_cast<std::size_t>(columns), '.'));
+
+  for (const TaskRecord& r : schedule.records()) {
+    paint(master, r.send_start, r.send_end, horizon, columns,
+          task_glyph(r.task));
+    paint(slaves[static_cast<std::size_t>(r.slave)], r.comp_start, r.comp_end,
+          horizon, columns, task_glyph(r.task));
+  }
+
+  std::ostringstream out;
+  out << "time 0.." << horizon << " (" << columns << " cells, glyph = task id mod 10)\n";
+  out << "master |" << master << "|\n";
+  for (int j = 0; j < platform.size(); ++j) {
+    out << "P" << j << std::string(j < 10 ? 5 : 4, ' ') << "|"
+        << slaves[static_cast<std::size_t>(j)] << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace msol::core

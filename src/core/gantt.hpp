@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+
+/// Renders an ASCII Gantt chart of a schedule: one row for the master's
+/// port (sends) and one per slave (computations). Tasks are labelled by id
+/// modulo 10 for readability. Used by examples and debugging output.
+///
+///   master |00112-3...
+///   P0     |..000011..
+///   P1     |....22....
+///
+/// `columns` is the number of character cells the horizon is divided into.
+std::string render_gantt(const platform::Platform& platform,
+                         const Schedule& schedule, int columns = 80);
+
+}  // namespace msol::core

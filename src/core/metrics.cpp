@@ -1,0 +1,72 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msol::core {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+FlowStats flow_stats(const Schedule& schedule) {
+  FlowStats stats;
+  stats.count = schedule.size();
+  if (schedule.empty()) return stats;
+
+  std::vector<double> flows;
+  flows.reserve(schedule.records().size());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const TaskRecord& r : schedule.records()) {
+    const double f = r.flow();
+    flows.push_back(f);
+    sum += f;
+    sum_sq += f * f;
+  }
+  std::sort(flows.begin(), flows.end());
+  stats.mean = sum / static_cast<double>(flows.size());
+  stats.p50 = percentile(flows, 0.50);
+  stats.p90 = percentile(flows, 0.90);
+  stats.p99 = percentile(flows, 0.99);
+  stats.max = flows.back();
+  stats.jain_fairness =
+      sum_sq > 0.0
+          ? (sum * sum) / (static_cast<double>(flows.size()) * sum_sq)
+          : 0.0;
+  return stats;
+}
+
+Utilization utilization(const platform::Platform& platform,
+                        const Schedule& schedule) {
+  Utilization u;
+  u.slave.assign(static_cast<std::size_t>(platform.size()), 0.0);
+  const Time horizon = schedule.makespan();
+  if (horizon <= 0.0) return u;
+
+  double port_busy = 0.0;
+  for (const TaskRecord& r : schedule.records()) {
+    port_busy += r.send_end - r.send_start;
+    if (r.slave >= 0 && r.slave < platform.size()) {
+      u.slave[static_cast<std::size_t>(r.slave)] += r.comp_end - r.comp_start;
+    }
+  }
+  u.port = port_busy / horizon;
+  double total = 0.0;
+  for (double& s : u.slave) {
+    s /= horizon;
+    total += s;
+  }
+  u.mean_slave = total / static_cast<double>(platform.size());
+  return u;
+}
+
+}  // namespace msol::core

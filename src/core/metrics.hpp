@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+
+/// Distributional view of per-task response times (flows). The paper
+/// reports only max and sum; tails and fairness matter to anyone deploying
+/// these policies on an interactive bag-of-tasks service, so the library
+/// exposes them as first-class metrics.
+struct FlowStats {
+  int count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  /// Jain's fairness index (sum f)^2 / (n * sum f^2): 1 = perfectly equal
+  /// flows, 1/n = one task absorbed all the waiting.
+  double jain_fairness = 0.0;
+};
+
+FlowStats flow_stats(const Schedule& schedule);
+
+/// Utilization view of a finished schedule: what fraction of the horizon
+/// (time 0 to makespan) each resource spent busy.
+struct Utilization {
+  double port = 0.0;                 ///< master port busy fraction
+  std::vector<double> slave;         ///< per-slave compute busy fraction
+  double mean_slave = 0.0;
+};
+
+Utilization utilization(const platform::Platform& platform,
+                        const Schedule& schedule);
+
+}  // namespace msol::core

@@ -1,0 +1,57 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msol::core {
+
+std::string to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kMakespan: return "makespan";
+    case Objective::kMaxFlow: return "max-flow";
+    case Objective::kSumFlow: return "sum-flow";
+  }
+  return "unknown";
+}
+
+const std::vector<Objective>& all_objectives() {
+  static const std::vector<Objective> kAll = {
+      Objective::kMakespan, Objective::kMaxFlow, Objective::kSumFlow};
+  return kAll;
+}
+
+const TaskRecord* Schedule::find(TaskId task) const {
+  const auto it = std::find_if(
+      records_.begin(), records_.end(),
+      [task](const TaskRecord& r) { return r.task == task; });
+  return it == records_.end() ? nullptr : &*it;
+}
+
+Time Schedule::makespan() const {
+  Time best = 0.0;
+  for (const TaskRecord& r : records_) best = std::max(best, r.comp_end);
+  return best;
+}
+
+Time Schedule::max_flow() const {
+  Time best = 0.0;
+  for (const TaskRecord& r : records_) best = std::max(best, r.flow());
+  return best;
+}
+
+Time Schedule::sum_flow() const {
+  Time total = 0.0;
+  for (const TaskRecord& r : records_) total += r.flow();
+  return total;
+}
+
+double Schedule::objective(Objective objective) const {
+  switch (objective) {
+    case Objective::kMakespan: return makespan();
+    case Objective::kMaxFlow: return max_flow();
+    case Objective::kSumFlow: return sum_flow();
+  }
+  throw std::logic_error("Schedule: unknown objective");
+}
+
+}  // namespace msol::core

@@ -1,0 +1,77 @@
+#include "core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace msol::core {
+
+namespace {
+constexpr const char* kHeader =
+    "task,slave,release,send_start,send_end,comp_start,comp_end";
+}
+
+void write_csv(std::ostream& os, const Schedule& schedule) {
+  os << kHeader << '\n';
+  os.precision(17);
+  for (const TaskRecord& r : schedule.records()) {
+    os << r.task << ',' << r.slave << ',' << r.release << ',' << r.send_start
+       << ',' << r.send_end << ',' << r.comp_start << ',' << r.comp_end
+       << '\n';
+  }
+}
+
+std::string to_csv(const Schedule& schedule) {
+  std::ostringstream out;
+  write_csv(out, schedule);
+  return out.str();
+}
+
+Schedule read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::invalid_argument("schedule csv: missing or wrong header");
+  }
+  Schedule schedule;
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::vector<double> values;
+    std::string cell;
+    while (std::getline(fields, cell, ',')) {
+      try {
+        values.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("schedule csv line " +
+                                    std::to_string(line_no) +
+                                    ": non-numeric cell '" + cell + "'");
+      }
+    }
+    if (values.size() != 7) {
+      throw std::invalid_argument("schedule csv line " +
+                                  std::to_string(line_no) +
+                                  ": expected 7 columns");
+    }
+    TaskRecord r;
+    r.task = static_cast<TaskId>(values[0]);
+    r.slave = static_cast<SlaveId>(values[1]);
+    r.release = values[2];
+    r.send_start = values[3];
+    r.send_end = values[4];
+    r.comp_start = values[5];
+    r.comp_end = values[6];
+    schedule.add(r);
+  }
+  return schedule;
+}
+
+Schedule from_csv(const std::string& text) {
+  std::istringstream in(text);
+  return read_csv(in);
+}
+
+}  // namespace msol::core

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace msol::core {
+
+/// CSV round-trip for schedules, so campaign outputs can be archived and
+/// post-processed outside the library (spreadsheets, plotting scripts).
+/// Columns: task,slave,release,send_start,send_end,comp_start,comp_end.
+void write_csv(std::ostream& os, const Schedule& schedule);
+std::string to_csv(const Schedule& schedule);
+
+/// Parses the write_csv format (header required); throws
+/// std::invalid_argument on malformed rows.
+Schedule read_csv(std::istream& is);
+Schedule from_csv(const std::string& text);
+
+}  // namespace msol::core

@@ -1,0 +1,43 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace msol::core {
+
+std::string to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRelease: return "release";
+    case TraceEvent::Kind::kAssign: return "assign";
+    case TraceEvent::Kind::kDefer: return "defer";
+    case TraceEvent::Kind::kWaitUntil: return "wait-until";
+    case TraceEvent::Kind::kSendEnd: return "send-end";
+    case TraceEvent::Kind::kCompEnd: return "comp-end";
+  }
+  return "unknown";
+}
+
+int Trace::count(TraceEvent::Kind kind) const {
+  return static_cast<int>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string Trace::to_string() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::ostringstream out;
+  for (const TraceEvent& e : sorted) {
+    out << "t=" << e.time << "  " << core::to_string(e.kind);
+    if (e.task >= 0) out << "  task " << e.task;
+    if (e.slave >= 0) out << " -> P" << e.slave;
+    if (e.kind == TraceEvent::Kind::kWaitUntil) out << "  until " << e.aux;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace msol::core

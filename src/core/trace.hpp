@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace msol::core {
+
+/// One entry of the engine's decision/event log.
+struct TraceEvent {
+  enum class Kind {
+    kRelease,    ///< a task became available on the master
+    kAssign,     ///< the scheduler committed task -> slave
+    kDefer,      ///< the scheduler left the master idle
+    kWaitUntil,  ///< the scheduler requested a wake-up
+    kSendEnd,    ///< a send finished (port freed)
+    kCompEnd,    ///< a slave finished a task
+  };
+
+  Kind kind = Kind::kRelease;
+  Time time = 0.0;
+  TaskId task = -1;   ///< -1 when not applicable
+  SlaveId slave = -1; ///< -1 when not applicable
+  Time aux = 0.0;     ///< kWaitUntil: requested wake time
+};
+
+std::string to_string(TraceEvent::Kind kind);
+
+/// Append-only event log the engine fills when tracing is enabled.
+/// Primarily a debugging and teaching aid (adversary_demo narrates from
+/// it); also lets tests assert on the *decision process*, not only the
+/// final schedule.
+class Trace {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Number of events of one kind.
+  int count(TraceEvent::Kind kind) const;
+
+  /// Human-readable dump, one event per line, stably sorted by time (the
+  /// engine records send-end/comp-end eagerly at commit time, so the raw
+  /// vector is in commitment order, not time order).
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace msol::core

@@ -1,0 +1,167 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace msol::core {
+
+namespace {
+
+constexpr double kDurEps = 1e-6;  // duration checks (looser than event order)
+
+void check_durations(const platform::Platform& platform,
+                     const Workload& workload, const TaskRecord& r,
+                     const std::vector<SlowdownWindow>& slowdowns,
+                     std::vector<std::string>& out) {
+  const TaskSpec& spec = workload.at(r.task);
+  std::ostringstream msg;
+  if (r.send_start < spec.release - kTimeEps) {
+    msg << "task " << r.task << ": send starts at " << r.send_start
+        << " before release " << spec.release;
+    out.push_back(msg.str());
+    return;
+  }
+  const Time want_send =
+      platform.comm(r.slave) * spec.comm_factor;
+  if (std::abs((r.send_end - r.send_start) - want_send) > kDurEps) {
+    msg << "task " << r.task << ": send duration "
+        << (r.send_end - r.send_start) << " != c_j*factor " << want_send;
+    out.push_back(msg.str());
+  }
+  if (r.comp_start < r.send_end - kTimeEps) {
+    std::ostringstream m2;
+    m2 << "task " << r.task << ": computes at " << r.comp_start
+       << " before arrival " << r.send_end;
+    out.push_back(m2.str());
+  }
+  const Time want_comp =
+      platform.comp(r.slave) * spec.comp_factor *
+      slowdown_factor_at(slowdowns, r.slave, r.comp_start);
+  if (std::abs((r.comp_end - r.comp_start) - want_comp) > kDurEps) {
+    std::ostringstream m3;
+    m3 << "task " << r.task << ": compute duration "
+       << (r.comp_end - r.comp_start) << " != p_j*factor " << want_comp;
+    out.push_back(m3.str());
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const platform::Platform& platform,
+                                  const Workload& workload,
+                                  const Schedule& schedule,
+                                  int port_capacity) {
+  EngineOptions options;
+  options.port_capacity = port_capacity;
+  return validate(platform, workload, schedule, options);
+}
+
+std::vector<std::string> validate(const platform::Platform& platform,
+                                  const Workload& workload,
+                                  const Schedule& schedule,
+                                  const EngineOptions& options) {
+  const int port_capacity = options.port_capacity;
+  std::vector<std::string> out;
+
+  // Coverage: every task exactly once, valid ids.
+  std::vector<int> seen(static_cast<std::size_t>(workload.size()), 0);
+  for (const TaskRecord& r : schedule.records()) {
+    if (r.task < 0 || r.task >= workload.size()) {
+      out.push_back("record references unknown task id " +
+                    std::to_string(r.task));
+      continue;
+    }
+    if (r.slave < 0 || r.slave >= platform.size()) {
+      out.push_back("task " + std::to_string(r.task) +
+                    " assigned to unknown slave " + std::to_string(r.slave));
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(r.task)];
+    check_durations(platform, workload, r, options.slowdowns, out);
+  }
+  for (TaskId i = 0; i < workload.size(); ++i) {
+    const int n = seen[static_cast<std::size_t>(i)];
+    if (n == 0) out.push_back("task " + std::to_string(i) + " never scheduled");
+    if (n > 1) {
+      out.push_back("task " + std::to_string(i) + " scheduled " +
+                    std::to_string(n) + " times");
+    }
+  }
+
+  // One-port: sweep send intervals; at most port_capacity concurrent.
+  if (port_capacity > 0) {
+    // Events: +1 at send_start, -1 at send_end. Sort by time with ends
+    // before starts at equal instants (back-to-back sends are legal).
+    std::vector<std::pair<Time, int>> events;
+    events.reserve(schedule.records().size() * 2);
+    for (const TaskRecord& r : schedule.records()) {
+      events.emplace_back(r.send_start, +1);
+      events.emplace_back(r.send_end, -1);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                if (std::abs(a.first - b.first) > kTimeEps) {
+                  return a.first < b.first;
+                }
+                return a.second < b.second;  // -1 before +1
+              });
+    int in_flight = 0;
+    for (const auto& [t, delta] : events) {
+      in_flight += delta;
+      if (in_flight > port_capacity) {
+        std::ostringstream msg;
+        msg << "one-port violation: " << in_flight
+            << " sends in flight at t=" << t << " (capacity "
+            << port_capacity << ")";
+        out.push_back(msg.str());
+        break;
+      }
+    }
+  }
+
+  // Per-slave serial execution.
+  std::map<SlaveId, std::vector<std::pair<Time, Time>>> per_slave;
+  for (const TaskRecord& r : schedule.records()) {
+    if (r.slave >= 0 && r.slave < platform.size()) {
+      per_slave[r.slave].emplace_back(r.comp_start, r.comp_end);
+    }
+  }
+  for (auto& [slave, intervals] : per_slave) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first < intervals[i - 1].second - kTimeEps) {
+        std::ostringstream msg;
+        msg << "slave " << slave << " computes two tasks at once around t="
+            << intervals[i].first;
+        out.push_back(msg.str());
+        break;
+      }
+    }
+  }
+
+  return out;
+}
+
+void validate_or_throw(const platform::Platform& platform,
+                       const Workload& workload, const Schedule& schedule,
+                       int port_capacity) {
+  EngineOptions options;
+  options.port_capacity = port_capacity;
+  validate_or_throw(platform, workload, schedule, options);
+}
+
+void validate_or_throw(const platform::Platform& platform,
+                       const Workload& workload, const Schedule& schedule,
+                       const EngineOptions& options) {
+  const std::vector<std::string> violations =
+      validate(platform, workload, schedule, options);
+  if (violations.empty()) return;
+  std::string msg = "infeasible schedule:";
+  for (const std::string& v : violations) msg += "\n  - " + v;
+  throw std::logic_error(msg);
+}
+
+}  // namespace msol::core

@@ -1,0 +1,110 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msol::core {
+
+Workload::Workload(std::vector<TaskSpec> tasks) : tasks_(std::move(tasks)) {
+  for (const TaskSpec& t : tasks_) {
+    if (t.release < 0.0) {
+      throw std::invalid_argument("Workload: negative release time");
+    }
+    if (!(t.comm_factor > 0.0) || !(t.comp_factor > 0.0)) {
+      throw std::invalid_argument("Workload: size factors must be positive");
+    }
+  }
+  std::stable_sort(tasks_.begin(), tasks_.end(),
+                   [](const TaskSpec& a, const TaskSpec& b) {
+                     return a.release < b.release;
+                   });
+}
+
+const TaskSpec& Workload::at(TaskId i) const {
+  if (i < 0 || i >= size()) {
+    throw std::out_of_range("Workload: task id out of range");
+  }
+  return tasks_[static_cast<std::size_t>(i)];
+}
+
+Time Workload::last_release() const {
+  return tasks_.empty() ? 0.0 : tasks_.back().release;
+}
+
+Workload Workload::all_at_zero(int n) {
+  return Workload(std::vector<TaskSpec>(static_cast<std::size_t>(n)));
+}
+
+Workload Workload::poisson(int n, double rate, util::Rng& rng) {
+  if (rate <= 0.0) throw std::invalid_argument("Workload: rate must be > 0");
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(TaskSpec{t, 1.0, 1.0});
+    t += rng.exponential(rate);
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::uniform(int n, Time horizon, util::Rng& rng) {
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(TaskSpec{rng.uniform(0.0, horizon), 1.0, 1.0});
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::bursty(int n, int burst, Time mean_gap, util::Rng& rng) {
+  if (burst <= 0) throw std::invalid_argument("Workload: burst must be > 0");
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  Time t = 0.0;
+  int emitted = 0;
+  while (emitted < n) {
+    const int in_burst = std::min(burst, n - emitted);
+    for (int i = 0; i < in_burst; ++i) tasks.push_back(TaskSpec{t, 1.0, 1.0});
+    emitted += in_burst;
+    t += rng.exponential(1.0 / mean_gap);
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::from_releases(std::vector<Time> releases) {
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(releases.size());
+  for (Time r : releases) tasks.push_back(TaskSpec{r, 1.0, 1.0});
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::with_lognormal_noise(double comm_sigma, double comp_sigma,
+                                        util::Rng& rng) const {
+  if (comm_sigma < 0.0 || comp_sigma < 0.0) {
+    throw std::invalid_argument("Workload: noise sigma must be >= 0");
+  }
+  std::normal_distribution<double> comm_noise(0.0, comm_sigma);
+  std::normal_distribution<double> comp_noise(0.0, comp_sigma);
+  std::vector<TaskSpec> tasks = tasks_;
+  for (TaskSpec& t : tasks) {
+    if (comm_sigma > 0.0) t.comm_factor *= std::exp(comm_noise(rng.engine()));
+    if (comp_sigma > 0.0) t.comp_factor *= std::exp(comp_noise(rng.engine()));
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::with_size_jitter(double delta, util::Rng& rng) const {
+  if (delta < 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("Workload: jitter delta must be in [0,1)");
+  }
+  std::vector<TaskSpec> tasks = tasks_;
+  for (TaskSpec& t : tasks) {
+    const double f = rng.uniform(1.0 - delta, 1.0 + delta);
+    t.comm_factor *= f;
+    t.comp_factor *= f;
+  }
+  return Workload(std::move(tasks));
+}
+
+}  // namespace msol::core

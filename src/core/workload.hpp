@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace msol::core {
+
+/// One task of the on-line instance.
+///
+/// The paper's tasks are identical; `comm_factor`/`comp_factor` scale the
+/// platform's c_j/p_j per task and default to 1. They exist for the Figure 2
+/// robustness experiment, where the matrix shipped "at each round" varies by
+/// up to 10% while the schedulers keep assuming unit tasks.
+struct TaskSpec {
+  Time release = 0.0;
+  double comm_factor = 1.0;
+  double comp_factor = 1.0;
+};
+
+/// An ordered bag of tasks; tasks are sorted by release time on construction
+/// (stable, so equal-release tasks keep their generation order) and are
+/// identified by their index in that order.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<TaskSpec> tasks);
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const TaskSpec& at(TaskId i) const;
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+
+  Time last_release() const;
+
+  /// --- Generators -------------------------------------------------------
+
+  /// n unit tasks all released at time 0 (the purely static case).
+  static Workload all_at_zero(int n);
+
+  /// n unit tasks with exponential(rate) inter-arrival times starting at 0.
+  static Workload poisson(int n, double rate, util::Rng& rng);
+
+  /// n unit tasks with releases drawn uniformly in [0, horizon], sorted.
+  static Workload uniform(int n, Time horizon, util::Rng& rng);
+
+  /// Bursts of `burst` simultaneous tasks separated by exponential(1/gap)
+  /// quiet periods; models the bag-of-tasks campaigns of [10, 1].
+  static Workload bursty(int n, int burst, Time mean_gap, util::Rng& rng);
+
+  /// Releases at fixed times (already-known trace); sizes unit.
+  static Workload from_releases(std::vector<Time> releases);
+
+  /// --- Transforms --------------------------------------------------------
+
+  /// Copy with per-task sizes jittered: each factor is drawn uniformly in
+  /// [1-delta, 1+delta] (Figure 2 uses delta = 0.10). Communication and
+  /// computation are scaled by the same draw, matching the paper where the
+  /// *matrix* changes size and both shipping and determinant cost follow.
+  Workload with_size_jitter(double delta, util::Rng& rng) const;
+
+  /// Copy with *independent* multiplicative lognormal noise on the
+  /// communication and computation factors (sigma in log-space). Unlike
+  /// with_size_jitter this decouples the two — it models measurement /
+  /// machine noise (network contention, cache effects) rather than a
+  /// changed payload, which is what a real testbed adds on top of Figure
+  /// 2's size variation.
+  Workload with_lognormal_noise(double comm_sigma, double comp_sigma,
+                                util::Rng& rng) const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+};
+
+}  // namespace msol::core

@@ -1,0 +1,57 @@
+#include "core/workload_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msol::core {
+
+std::string serialize(const Workload& workload) {
+  std::ostringstream out;
+  write(out, workload);
+  return out.str();
+}
+
+void write(std::ostream& os, const Workload& workload) {
+  os << "# msol workload: release [comm_factor] [comp_factor]\n";
+  os.precision(17);
+  for (const TaskSpec& t : workload.tasks()) {
+    os << t.release << ' ' << t.comm_factor << ' ' << t.comp_factor << '\n';
+  }
+}
+
+Workload parse_workload(const std::string& text) {
+  std::istringstream in(text);
+  return read_workload(in);
+}
+
+Workload read_workload(std::istream& is) {
+  std::vector<TaskSpec> tasks;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    TaskSpec t;
+    if (!(fields >> t.release)) continue;  // blank or comment-only line
+    if (fields >> t.comm_factor) {
+      if (!(fields >> t.comp_factor)) {
+        throw std::invalid_argument(
+            "workload line " + std::to_string(line_no) +
+            ": comm_factor given without comp_factor");
+      }
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("workload line " + std::to_string(line_no) +
+                                  ": trailing garbage '" + extra + "'");
+    }
+    tasks.push_back(t);
+  }
+  return Workload(std::move(tasks));  // re-validates
+}
+
+}  // namespace msol::core

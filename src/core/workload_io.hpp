@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/workload.hpp"
+
+namespace msol::core {
+
+/// Text round-trip for workloads, one task per line:
+/// "release comm_factor comp_factor"; '#' comments and blank lines ignored;
+/// the factor columns may be omitted (default 1.0). Lets campaigns replay
+/// externally captured task traces.
+std::string serialize(const Workload& workload);
+void write(std::ostream& os, const Workload& workload);
+
+/// Parses the serialize() format; throws std::invalid_argument on
+/// malformed input.
+Workload parse_workload(const std::string& text);
+Workload read_workload(std::istream& is);
+
+}  // namespace msol::core

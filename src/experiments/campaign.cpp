@@ -1,0 +1,191 @@
+#include "experiments/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "core/validator.hpp"
+#include "core/workload.hpp"
+#include "util/rng.hpp"
+
+namespace msol::experiments {
+
+std::string to_string(ArrivalProcess arrival) {
+  switch (arrival) {
+    case ArrivalProcess::kAllAtZero: return "all-at-zero";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "unknown";
+}
+
+double max_throughput(const platform::Platform& platform) {
+  // Fill the port budget (1 second of port time per second) with the
+  // cheapest links first; each slave contributes at most 1/p_j tasks/s.
+  double budget = 1.0;
+  double rate = 0.0;
+  for (core::SlaveId j : platform.order_by_comm()) {
+    const double full_rate = 1.0 / platform.comp(j);
+    const double port_cost = platform.comm(j) * full_rate;
+    if (port_cost <= budget) {
+      budget -= port_cost;
+      rate += full_rate;
+    } else {
+      rate += budget / platform.comm(j);
+      budget = 0.0;
+      break;
+    }
+  }
+  return rate;
+}
+
+namespace {
+
+core::Workload make_arrivals(const CampaignConfig& config,
+                             const platform::Platform& platform,
+                             util::Rng& rng) {
+  switch (config.arrival) {
+    case ArrivalProcess::kAllAtZero:
+      return core::Workload::all_at_zero(config.num_tasks);
+    case ArrivalProcess::kPoisson: {
+      const double rate = config.load * max_throughput(platform);
+      return core::Workload::poisson(config.num_tasks, rate, rng);
+    }
+    case ArrivalProcess::kBursty: {
+      const double rate = config.load * max_throughput(platform);
+      const int burst = 25;
+      return core::Workload::bursty(config.num_tasks, burst,
+                                    static_cast<double>(burst) / rate, rng);
+    }
+  }
+  throw std::logic_error("make_arrivals: unknown arrival process");
+}
+
+std::vector<std::string> algorithm_names(const CampaignConfig& config) {
+  return config.algorithms.empty() ? algorithms::paper_algorithm_names()
+                                   : config.algorithms;
+}
+
+struct RawValues {
+  std::vector<double> makespan, max_flow, sum_flow;
+  std::vector<double> norm_makespan, norm_max_flow, norm_sum_flow;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const std::vector<std::string> names = algorithm_names(config);
+  if (names.empty()) {
+    throw std::invalid_argument("run_campaign: no algorithms requested");
+  }
+
+  util::Rng rng(config.seed);
+  platform::PlatformGenerator generator(config.ranges);
+  std::map<std::string, RawValues> raw;
+
+  for (int rep = 0; rep < config.num_platforms; ++rep) {
+    util::Rng rep_rng = rng.fork();
+    const platform::Platform plat = generator.generate(
+        config.platform_class, config.num_slaves, rep_rng);
+    core::Workload workload = make_arrivals(config, plat, rep_rng);
+    if (config.size_jitter > 0.0) {
+      workload = workload.with_size_jitter(config.size_jitter, rep_rng);
+    }
+
+    // SRPT is the paper's normalizer; run it first.
+    std::map<std::string, core::Schedule> schedules;
+    for (const std::string& name : names) {
+      auto scheduler = algorithms::make_scheduler(name, config.lookahead);
+      core::EngineOptions options;
+      options.port_capacity = config.port_capacity;
+      core::Schedule schedule = simulate(plat, workload, *scheduler, options);
+      core::validate_or_throw(plat, workload, schedule, config.port_capacity);
+      schedules.emplace(name, std::move(schedule));
+    }
+
+    const core::Schedule* srpt = nullptr;
+    const auto it = schedules.find("SRPT");
+    if (it != schedules.end()) srpt = &it->second;
+
+    for (const std::string& name : names) {
+      const core::Schedule& s = schedules.at(name);
+      RawValues& values = raw[name];
+      values.makespan.push_back(s.makespan());
+      values.max_flow.push_back(s.max_flow());
+      values.sum_flow.push_back(s.sum_flow());
+      if (srpt != nullptr) {
+        values.norm_makespan.push_back(s.makespan() / srpt->makespan());
+        values.norm_max_flow.push_back(s.max_flow() / srpt->max_flow());
+        values.norm_sum_flow.push_back(s.sum_flow() / srpt->sum_flow());
+      }
+    }
+  }
+
+  CampaignResult result;
+  result.config = config;
+  for (const std::string& name : names) {
+    const RawValues& values = raw.at(name);
+    AlgorithmResult r;
+    r.name = name;
+    r.makespan = util::summarize(values.makespan);
+    r.max_flow = util::summarize(values.max_flow);
+    r.sum_flow = util::summarize(values.sum_flow);
+    r.norm_makespan = util::summarize(values.norm_makespan);
+    r.norm_max_flow = util::summarize(values.norm_max_flow);
+    r.norm_sum_flow = util::summarize(values.norm_sum_flow);
+    result.algorithms.push_back(std::move(r));
+  }
+  return result;
+}
+
+std::vector<RobustnessResult> run_robustness(const CampaignConfig& config) {
+  if (config.size_jitter <= 0.0) {
+    throw std::invalid_argument(
+        "run_robustness: config.size_jitter must be positive");
+  }
+  const std::vector<std::string> names = algorithm_names(config);
+
+  util::Rng rng(config.seed);
+  platform::PlatformGenerator generator(config.ranges);
+  std::map<std::string, RawValues> raw;  // only *_ratio slots used
+
+  for (int rep = 0; rep < config.num_platforms; ++rep) {
+    util::Rng rep_rng = rng.fork();
+    const platform::Platform plat = generator.generate(
+        config.platform_class, config.num_slaves, rep_rng);
+    const core::Workload identical = make_arrivals(config, plat, rep_rng);
+    const core::Workload jittered =
+        identical.with_size_jitter(config.size_jitter, rep_rng);
+
+    for (const std::string& name : names) {
+      auto scheduler = algorithms::make_scheduler(name, config.lookahead);
+      core::EngineOptions options;
+      options.port_capacity = config.port_capacity;
+      const core::Schedule base = simulate(plat, identical, *scheduler, options);
+      const core::Schedule pert = simulate(plat, jittered, *scheduler, options);
+      core::validate_or_throw(plat, jittered, pert, config.port_capacity);
+
+      RawValues& values = raw[name];
+      values.makespan.push_back(pert.makespan() / base.makespan());
+      values.max_flow.push_back(pert.max_flow() / base.max_flow());
+      values.sum_flow.push_back(pert.sum_flow() / base.sum_flow());
+    }
+  }
+
+  std::vector<RobustnessResult> out;
+  for (const std::string& name : names) {
+    const RawValues& values = raw.at(name);
+    RobustnessResult r;
+    r.name = name;
+    r.makespan_ratio = util::summarize(values.makespan);
+    r.max_flow_ratio = util::summarize(values.max_flow);
+    r.sum_flow_ratio = util::summarize(values.sum_flow);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace msol::experiments

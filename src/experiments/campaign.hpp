@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/generator.hpp"
+#include "platform/platform.hpp"
+#include "util/stats.hpp"
+
+namespace msol::experiments {
+
+/// How release times are drawn for a campaign. The paper streams "one
+/// thousand tasks" but does not document the arrival process, so it is a
+/// first-class, swept parameter here (see bench_arrival_sweep).
+enum class ArrivalProcess {
+  kAllAtZero,  ///< whole bag available up front
+  kPoisson,    ///< exponential inter-arrivals at `load` x system capacity
+  kBursty,     ///< bursts of 25 at Poisson-distributed instants
+};
+
+std::string to_string(ArrivalProcess arrival);
+
+/// One Figure-1-style campaign: N random platforms of one class, a task
+/// stream per platform, every algorithm on the identical instance.
+struct CampaignConfig {
+  platform::PlatformClass platform_class =
+      platform::PlatformClass::kFullyHeterogeneous;
+  int num_platforms = 10;  ///< the paper's "ten random platforms"
+  int num_slaves = 5;      ///< the paper's five machines
+  int num_tasks = 1000;    ///< the paper's one thousand tasks
+  std::uint64_t seed = 2006;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  double load = 0.9;       ///< arrival rate as a fraction of max throughput
+  double size_jitter = 0.0;  ///< Figure 2: 0.10 (tasks vary by up to 10%)
+  int lookahead = 1000;    ///< SLJF/SLJFWC planned-task count K
+  int port_capacity = 1;   ///< 1 = one-port; 0 = unbounded (ablation)
+  std::vector<std::string> algorithms;  ///< empty = the paper's seven
+  platform::GeneratorRanges ranges;     ///< paper defaults
+};
+
+/// Aggregates for one algorithm across the campaign's platforms.
+struct AlgorithmResult {
+  std::string name;
+  util::Summary makespan;   ///< raw values
+  util::Summary max_flow;
+  util::Summary sum_flow;
+  util::Summary norm_makespan;  ///< value / SRPT's value, per platform
+  util::Summary norm_max_flow;
+  util::Summary norm_sum_flow;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<AlgorithmResult> algorithms;
+};
+
+/// Runs the campaign; every produced schedule is validated against the
+/// one-port model before being measured. Deterministic in `config.seed`.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Figure 2: per-algorithm ratio of each metric under +/-`size_jitter`
+/// task sizes versus identical tasks, on the same platforms and releases.
+struct RobustnessResult {
+  std::string name;
+  util::Summary makespan_ratio;
+  util::Summary max_flow_ratio;
+  util::Summary sum_flow_ratio;
+};
+
+std::vector<RobustnessResult> run_robustness(const CampaignConfig& config);
+
+/// Maximum sustainable task throughput of a platform under the one-port
+/// model: maximize sum x_j subject to sum c_j x_j <= 1 (port) and
+/// x_j <= 1/p_j (slave speed). Greedy on ascending c_j solves this LP.
+/// Used to convert `load` into a Poisson arrival rate.
+double max_throughput(const platform::Platform& platform);
+
+}  // namespace msol::experiments

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace msol::mpisim {
+
+/// Blocking FIFO channel between the master thread and one slave thread —
+/// the in-process stand-in for an MPI point-to-point link. close() unblocks
+/// a waiting receiver with "no more messages".
+template <typename T>
+class Channel {
+ public:
+  void send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks until a message or close(); nullopt means closed-and-drained.
+  std::optional<T> receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace msol::mpisim

@@ -1,0 +1,58 @@
+#include "mpisim/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msol::mpisim {
+
+Matrix::Matrix(int n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("Matrix: size must be positive");
+  data_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+}
+
+Matrix Matrix::random(int n, util::Rng& rng) {
+  Matrix m(n);
+  for (double& v : m.data_) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double determinant(Matrix m) {
+  const int n = m.size();
+  double det = 1.0;
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting: largest |entry| in this column at or below the
+    // diagonal.
+    int pivot = col;
+    double best = std::abs(m.at(col, col));
+    for (int row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(m.at(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best == 0.0) return 0.0;  // singular
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(m.at(col, j), m.at(pivot, j));
+      det = -det;
+    }
+    det *= m.at(col, col);
+    const double inv = 1.0 / m.at(col, col);
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = m.at(row, col) * inv;
+      if (factor == 0.0) continue;
+      for (int j = col; j < n; ++j) {
+        m.at(row, j) -= factor * m.at(col, j);
+      }
+    }
+  }
+  return det;
+}
+
+}  // namespace msol::mpisim

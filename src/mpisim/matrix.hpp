@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace msol::mpisim {
+
+/// Small dense square matrix — the payload of the paper's MPI experiments:
+/// "Each task will be a matrix, and each slave will have to calculate the
+/// determinant of the matrices that it will receive."
+class Matrix {
+ public:
+  explicit Matrix(int n);
+
+  int size() const { return n_; }
+  double& at(int i, int j) { return data_[index(i, j)]; }
+  double at(int i, int j) const { return data_[index(i, j)]; }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Entries uniform in [-1, 1]; well-conditioned with overwhelming
+  /// probability, so LU with partial pivoting never degenerates.
+  static Matrix random(int n, util::Rng& rng);
+
+  /// Identity, for determinant unit tests.
+  static Matrix identity(int n);
+
+ private:
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+  int n_;
+  std::vector<double> data_;
+};
+
+/// Determinant via LU factorization with partial pivoting, O(n^3) — the
+/// slaves' unit of real compute work. Works on a copy.
+double determinant(Matrix m);
+
+}  // namespace msol::mpisim

@@ -1,0 +1,87 @@
+#include "offline/bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msol::offline {
+
+double LowerBounds::get(core::Objective objective) const {
+  switch (objective) {
+    case core::Objective::kMakespan: return makespan;
+    case core::Objective::kMaxFlow: return max_flow;
+    case core::Objective::kSumFlow: return sum_flow;
+  }
+  throw std::logic_error("LowerBounds: unknown objective");
+}
+
+LowerBounds lower_bounds(const platform::Platform& platform,
+                         const core::Workload& workload) {
+  LowerBounds lb;
+  const int n = workload.size();
+  if (n == 0) return lb;
+
+  const core::Time c_min = platform.min_comm();
+  const core::Time p_min = platform.min_comp();
+
+  double min_cf = workload.at(0).comm_factor;
+  double min_pf = workload.at(0).comp_factor;
+  double sum_pf = 0.0;
+  for (core::TaskId i = 0; i < n; ++i) {
+    min_cf = std::min(min_cf, workload.at(i).comm_factor);
+    min_pf = std::min(min_pf, workload.at(i).comp_factor);
+    sum_pf += workload.at(i).comp_factor;
+  }
+
+  // --- makespan ------------------------------------------------------------
+  // (a) every task needs its own send + compute after release.
+  for (core::TaskId i = 0; i < n; ++i) {
+    const core::TaskSpec& t = workload.at(i);
+    lb.makespan = std::max(
+        lb.makespan, t.release + c_min * t.comm_factor + p_min * t.comp_factor);
+  }
+  // (b) the k last-released tasks serialize through the port after r_{n-k}.
+  {
+    double suffix_comm = 0.0;
+    double suffix_min_pf = workload.at(n - 1).comp_factor;
+    for (int k = 1; k <= n; ++k) {
+      const core::TaskSpec& t = workload.at(n - k);
+      suffix_comm += c_min * t.comm_factor;
+      suffix_min_pf = std::min(suffix_min_pf, t.comp_factor);
+      lb.makespan =
+          std::max(lb.makespan, t.release + suffix_comm + p_min * suffix_min_pf);
+    }
+  }
+  // (c) aggregate compute capacity.
+  {
+    const double rate = platform.aggregate_compute_rate();
+    lb.makespan = std::max(
+        lb.makespan, workload.at(0).release + c_min * min_cf + sum_pf / rate);
+  }
+
+  // --- max-flow --------------------------------------------------------------
+  for (core::TaskId i = 0; i < n; ++i) {
+    const core::TaskSpec& t = workload.at(i);
+    lb.max_flow = std::max(lb.max_flow,
+                           c_min * t.comm_factor + p_min * t.comp_factor);
+  }
+
+  // --- sum-flow --------------------------------------------------------------
+  // The i-th earliest send-end is at least e_i = max_{k<=i} (r_k + (i-k+1)
+  // * c_min * min_cf); every completion adds at least p_min * min_pf.
+  {
+    double sum_e = 0.0;
+    double chain = 0.0;  // running EDF-like chain value
+    for (core::TaskId i = 0; i < n; ++i) {
+      chain = std::max(chain, workload.at(i).release) + c_min * min_cf;
+      sum_e += chain;
+    }
+    double sum_release = 0.0;
+    for (core::TaskId i = 0; i < n; ++i) sum_release += workload.at(i).release;
+    lb.sum_flow = std::max(
+        0.0, sum_e + static_cast<double>(n) * p_min * min_pf - sum_release);
+  }
+
+  return lb;
+}
+
+}  // namespace msol::offline

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::offline {
+
+/// Closed-form lower bounds on the off-line optimum of each objective.
+///
+/// Every bound is valid for *any* feasible one-port schedule, so they serve
+/// as cheap sanity floors in property tests (heuristic >= OPT >= bound) and
+/// as normalizers on instances too large for the exhaustive solver.
+///
+/// Makespan bound is the max of three arguments:
+///  * release chain: some task releases at r_i and still needs its cheapest
+///    send and compute;
+///  * port chain: the k last-released tasks all ship through the single
+///    port after r_{n-k};
+///  * compute capacity: slave j can absorb at most (T - r_0 - c_min)/p_j
+///    units of work by time T.
+struct LowerBounds {
+  double makespan = 0.0;
+  double max_flow = 0.0;
+  double sum_flow = 0.0;
+
+  double get(core::Objective objective) const;
+};
+
+LowerBounds lower_bounds(const platform::Platform& platform,
+                         const core::Workload& workload);
+
+}  // namespace msol::offline

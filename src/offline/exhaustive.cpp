@@ -1,0 +1,150 @@
+#include "offline/exhaustive.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace msol::offline {
+
+namespace {
+
+void check_state_limit(int m, int n, std::uint64_t limit) {
+  // m^n with overflow saturation.
+  long double states = std::pow(static_cast<long double>(m),
+                                static_cast<long double>(n));
+  if (states > static_cast<long double>(limit)) {
+    throw std::invalid_argument(
+        "solve_optimal: m^n = " + std::to_string(m) + "^" + std::to_string(n) +
+        " exceeds the state limit; use a heuristic or raise state_limit");
+  }
+}
+
+/// Incremental simulation state pushed/popped along the DFS.
+struct SearchState {
+  core::Time master_free = 0.0;
+  std::vector<core::Time> slave_ready;
+  core::Time makespan = 0.0;
+  core::Time max_flow = 0.0;
+  core::Time sum_flow = 0.0;
+};
+
+struct Frame {
+  core::Time prev_master_free;
+  core::Time prev_slave_ready;
+  core::Time prev_makespan;
+  core::Time prev_max_flow;
+  core::Time prev_sum_flow;
+};
+
+Frame apply(SearchState& s, const platform::Platform& platform,
+            const core::TaskSpec& spec, core::SlaveId j) {
+  Frame f{s.master_free, s.slave_ready[static_cast<std::size_t>(j)],
+          s.makespan, s.max_flow, s.sum_flow};
+  const core::Time send_end = std::max(s.master_free, spec.release) +
+                              platform.comm(j) * spec.comm_factor;
+  const core::Time comp_end =
+      std::max(send_end, s.slave_ready[static_cast<std::size_t>(j)]) +
+      platform.comp(j) * spec.comp_factor;
+  s.master_free = send_end;
+  s.slave_ready[static_cast<std::size_t>(j)] = comp_end;
+  s.makespan = std::max(s.makespan, comp_end);
+  s.max_flow = std::max(s.max_flow, comp_end - spec.release);
+  s.sum_flow += comp_end - spec.release;
+  return f;
+}
+
+void undo(SearchState& s, core::SlaveId j, const Frame& f) {
+  s.master_free = f.prev_master_free;
+  s.slave_ready[static_cast<std::size_t>(j)] = f.prev_slave_ready;
+  s.makespan = f.prev_makespan;
+  s.max_flow = f.prev_max_flow;
+  s.sum_flow = f.prev_sum_flow;
+}
+
+double partial_objective(const SearchState& s, core::Objective objective) {
+  switch (objective) {
+    case core::Objective::kMakespan: return s.makespan;
+    case core::Objective::kMaxFlow: return s.max_flow;
+    case core::Objective::kSumFlow: return s.sum_flow;
+  }
+  throw std::logic_error("partial_objective: unknown objective");
+}
+
+void dfs(const platform::Platform& platform, const core::Workload& workload,
+         core::Objective objective, core::TaskId depth, SearchState& state,
+         std::vector<core::SlaveId>& current, double& best,
+         std::vector<core::SlaveId>& best_assignment) {
+  if (depth == workload.size()) {
+    const double value = partial_objective(state, objective);
+    if (value < best) {
+      best = value;
+      best_assignment = current;
+    }
+    return;
+  }
+  // Monotone prune: appending tasks never lowers any of the objectives.
+  if (partial_objective(state, objective) >= best - core::kTimeEps) return;
+
+  const core::TaskSpec& spec = workload.at(depth);
+  for (core::SlaveId j = 0; j < platform.size(); ++j) {
+    const Frame frame = apply(state, platform, spec, j);
+    current.push_back(j);
+    dfs(platform, workload, objective, depth + 1, state, current, best,
+        best_assignment);
+    current.pop_back();
+    undo(state, j, frame);
+  }
+}
+
+}  // namespace
+
+ExhaustiveResult solve_optimal(const platform::Platform& platform,
+                               const core::Workload& workload,
+                               core::Objective objective,
+                               std::uint64_t state_limit) {
+  check_state_limit(platform.size(), workload.size(), state_limit);
+
+  SearchState state;
+  state.slave_ready.assign(static_cast<std::size_t>(platform.size()), 0.0);
+  std::vector<core::SlaveId> current;
+  current.reserve(static_cast<std::size_t>(workload.size()));
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<core::SlaveId> best_assignment;
+
+  dfs(platform, workload, objective, 0, state, current, best, best_assignment);
+
+  ExhaustiveResult result;
+  result.objective = best;
+  result.assignment = best_assignment;
+  if (!best_assignment.empty() || workload.size() == 0) {
+    result.schedule = simulate_assignment(platform, workload, best_assignment);
+  }
+  return result;
+}
+
+double OptimalTriple::get(core::Objective objective) const {
+  switch (objective) {
+    case core::Objective::kMakespan: return makespan;
+    case core::Objective::kMaxFlow: return max_flow;
+    case core::Objective::kSumFlow: return sum_flow;
+  }
+  throw std::logic_error("OptimalTriple: unknown objective");
+}
+
+OptimalTriple solve_optimal_all(const platform::Platform& platform,
+                                const core::Workload& workload,
+                                std::uint64_t state_limit) {
+  OptimalTriple out;
+  out.makespan =
+      solve_optimal(platform, workload, core::Objective::kMakespan, state_limit)
+          .objective;
+  out.max_flow =
+      solve_optimal(platform, workload, core::Objective::kMaxFlow, state_limit)
+          .objective;
+  out.sum_flow =
+      solve_optimal(platform, workload, core::Objective::kSumFlow, state_limit)
+          .objective;
+  return out;
+}
+
+}  // namespace msol::offline

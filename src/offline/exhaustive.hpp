@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/workload.hpp"
+#include "offline/forward_sim.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::offline {
+
+/// Result of the exact off-line optimization.
+struct ExhaustiveResult {
+  double objective = 0.0;
+  std::vector<core::SlaveId> assignment;  ///< per task in release order
+  core::Schedule schedule;
+};
+
+/// Exact off-line optimum by branch-and-bound over FIFO assignments.
+///
+/// Search space: which slave each task (in release order) is sent to; sends
+/// are FIFO with no inserted idle, which dominates for identical tasks (see
+/// forward_sim.hpp). Pruning uses monotonicity: committing a prefix already
+/// costs at least its partial objective, and all three objectives only grow
+/// as tasks are appended.
+///
+/// Intended for the proof-sized instances (n <= 4) and property tests
+/// (n <= ~12 on small m). Throws std::invalid_argument when m^n exceeds
+/// `state_limit` to avoid accidental exponential blow-ups.
+ExhaustiveResult solve_optimal(const platform::Platform& platform,
+                               const core::Workload& workload,
+                               core::Objective objective,
+                               std::uint64_t state_limit = 200'000'000);
+
+/// The optimum value for all three objectives in one pass (shares the
+/// search; cheaper than three solve_optimal calls).
+struct OptimalTriple {
+  double makespan = 0.0;
+  double max_flow = 0.0;
+  double sum_flow = 0.0;
+  double get(core::Objective objective) const;
+};
+
+OptimalTriple solve_optimal_all(const platform::Platform& platform,
+                                const core::Workload& workload,
+                                std::uint64_t state_limit = 200'000'000);
+
+}  // namespace msol::offline

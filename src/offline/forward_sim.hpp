@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::offline {
+
+/// Deterministic forward simulation of a *fixed* assignment under the
+/// one-port model: tasks are sent in release (FIFO) order with no inserted
+/// idle time, task i going to `assignment[i]`.
+///
+/// Why FIFO-no-idle is enough to search over (exchange argument, used by
+/// the exhaustive solver): tasks are identical, so permuting which task id
+/// occupies which send slot only re-labels releases; matching sorted
+/// releases to sorted send slots (= FIFO) is feasible whenever any matching
+/// is, and delaying a send can only push completions later, which never
+/// improves makespan, max-flow, or sum-flow.
+core::Schedule simulate_assignment(const platform::Platform& platform,
+                                   const core::Workload& workload,
+                                   const std::vector<core::SlaveId>& assignment);
+
+/// Objective values of simulate_assignment without materializing records;
+/// used in the exhaustive solver's hot loop.
+struct ObjectiveTriple {
+  core::Time makespan = 0.0;
+  core::Time max_flow = 0.0;
+  core::Time sum_flow = 0.0;
+
+  double get(core::Objective objective) const;
+};
+
+ObjectiveTriple evaluate_assignment(const platform::Platform& platform,
+                                    const core::Workload& workload,
+                                    const std::vector<core::SlaveId>& assignment);
+
+}  // namespace msol::offline

@@ -1,0 +1,57 @@
+#include "platform/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msol::platform {
+
+std::string serialize(const Platform& platform) {
+  std::ostringstream out;
+  write(out, platform);
+  return out.str();
+}
+
+void write(std::ostream& os, const Platform& platform) {
+  os << "# msol platform: one slave per line, columns are c_j p_j\n";
+  os.precision(17);
+  for (const SlaveSpec& s : platform.slaves()) {
+    os << s.comm << ' ' << s.comp << '\n';
+  }
+}
+
+Platform parse(const std::string& text) {
+  std::istringstream in(text);
+  return read(in);
+}
+
+Platform read(std::istream& is) {
+  std::vector<SlaveSpec> slaves;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    SlaveSpec s;
+    if (!(fields >> s.comm)) continue;  // blank or comment-only line
+    if (!(fields >> s.comp)) {
+      throw std::invalid_argument("platform line " + std::to_string(line_no) +
+                                  ": expected two columns (c_j p_j)");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("platform line " + std::to_string(line_no) +
+                                  ": trailing garbage '" + extra + "'");
+    }
+    slaves.push_back(s);
+  }
+  if (slaves.empty()) {
+    throw std::invalid_argument("platform: no slaves found in input");
+  }
+  return Platform(std::move(slaves));  // re-validates positivity
+}
+
+}  // namespace msol::platform

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace msol::platform {
+
+/// Text round-trip format, one slave per line: "c_j p_j", '#' comments and
+/// blank lines ignored. Used to pin platform instances in tests and to let
+/// examples load user-provided platforms.
+std::string serialize(const Platform& platform);
+
+/// Parses the serialize() format; throws std::invalid_argument on malformed
+/// input (non-numeric fields, missing column, non-positive values).
+Platform parse(const std::string& text);
+
+/// Stream helpers around the same format.
+void write(std::ostream& os, const Platform& platform);
+Platform read(std::istream& is);
+
+}  // namespace msol::platform

@@ -1,0 +1,46 @@
+#include "theory/adversary.hpp"
+
+#include <stdexcept>
+
+#include "core/validator.hpp"
+#include "offline/exhaustive.hpp"
+
+namespace msol::theory {
+
+AdversaryOutcome TheoremAdversary::run(core::OnlineScheduler& scheduler,
+                                       bool enable_trace) const {
+  scheduler.reset();
+  const platform::Platform plat = make_platform();
+  core::EngineOptions options;
+  options.enable_trace = enable_trace;
+  core::OnePortEngine engine(plat, scheduler, options);
+
+  AdversaryOutcome out;
+  out.theorem = theorem();
+  out.objective = info().objective;
+  out.bound = info().bound;
+  out.branch = drive(engine);
+  engine.run_to_completion();
+
+  std::vector<core::TaskSpec> specs;
+  specs.reserve(static_cast<std::size_t>(engine.total_tasks()));
+  for (core::TaskId i = 0; i < engine.total_tasks(); ++i) {
+    specs.push_back(engine.task_spec(i));
+  }
+  // Adversaries inject in nondecreasing release order, so this keeps ids.
+  out.realized = core::Workload(std::move(specs));
+  out.alg_schedule = engine.schedule();
+  core::validate_or_throw(plat, out.realized, out.alg_schedule);
+
+  out.alg_value = out.alg_schedule.objective(out.objective);
+  out.opt_value =
+      offline::solve_optimal(plat, out.realized, out.objective).objective;
+  if (out.opt_value <= 0.0) {
+    throw std::logic_error("TheoremAdversary: non-positive optimum");
+  }
+  out.ratio = out.alg_value / out.opt_value;
+  if (enable_trace) out.trace_dump = engine.trace().to_string();
+  return out;
+}
+
+}  // namespace msol::theory

@@ -1,0 +1,40 @@
+#include "theory/bounds.hpp"
+
+#include <stdexcept>
+
+namespace msol::theory {
+
+const std::vector<TheoremInfo>& table1_info() {
+  using platform::PlatformClass;
+  using core::Objective;
+  static const std::vector<TheoremInfo> kTable = {
+      {1, PlatformClass::kCommHomogeneous, Objective::kMakespan,
+       bound::thm1_comm_makespan(), "5/4"},
+      {2, PlatformClass::kCommHomogeneous, Objective::kSumFlow,
+       bound::thm2_comm_sumflow(), "(2+4*sqrt(2))/7"},
+      {3, PlatformClass::kCommHomogeneous, Objective::kMaxFlow,
+       bound::thm3_comm_maxflow(), "(5-sqrt(7))/2"},
+      {4, PlatformClass::kCompHomogeneous, Objective::kMakespan,
+       bound::thm4_comp_makespan(), "6/5"},
+      {5, PlatformClass::kCompHomogeneous, Objective::kMaxFlow,
+       bound::thm5_comp_maxflow(), "5/4"},
+      {6, PlatformClass::kCompHomogeneous, Objective::kSumFlow,
+       bound::thm6_comp_sumflow(), "23/22"},
+      {7, PlatformClass::kFullyHeterogeneous, Objective::kMakespan,
+       bound::thm7_het_makespan(), "(1+sqrt(3))/2"},
+      {8, PlatformClass::kFullyHeterogeneous, Objective::kSumFlow,
+       bound::thm8_het_sumflow(), "(sqrt(13)-1)/2"},
+      {9, PlatformClass::kFullyHeterogeneous, Objective::kMaxFlow,
+       bound::thm9_het_maxflow(), "sqrt(2)"},
+  };
+  return kTable;
+}
+
+const TheoremInfo& theorem_info(int number) {
+  for (const TheoremInfo& info : table1_info()) {
+    if (info.number == number) return info;
+  }
+  throw std::out_of_range("theorem_info: theorem number must be in 1..9");
+}
+
+}  // namespace msol::theory

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::theory {
+
+/// The nine competitive-ratio lower bounds of Table 1, kept as exact
+/// expressions so tests compare against the same constants the proofs use.
+namespace bound {
+inline double thm1_comm_makespan() { return 5.0 / 4.0; }
+inline double thm2_comm_sumflow() { return (2.0 + 4.0 * std::sqrt(2.0)) / 7.0; }
+inline double thm3_comm_maxflow() { return (5.0 - std::sqrt(7.0)) / 2.0; }
+inline double thm4_comp_makespan() { return 6.0 / 5.0; }
+inline double thm5_comp_maxflow() { return 5.0 / 4.0; }
+inline double thm6_comp_sumflow() { return 23.0 / 22.0; }
+inline double thm7_het_makespan() { return (1.0 + std::sqrt(3.0)) / 2.0; }
+inline double thm8_het_sumflow() { return (std::sqrt(13.0) - 1.0) / 2.0; }
+inline double thm9_het_maxflow() { return std::sqrt(2.0); }
+}  // namespace bound
+
+/// One row of Table 1 metadata.
+struct TheoremInfo {
+  int number;                          ///< 1..9
+  platform::PlatformClass platform_class;
+  core::Objective objective;
+  double bound;
+  std::string bound_expr;              ///< e.g. "(1+sqrt(3))/2"
+};
+
+/// All nine theorems in paper order.
+const std::vector<TheoremInfo>& table1_info();
+
+/// Lookup by theorem number; throws std::out_of_range for numbers not in 1..9.
+const TheoremInfo& theorem_info(int number);
+
+}  // namespace msol::theory

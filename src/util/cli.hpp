@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msol::util {
+
+/// Minimal --key=value / --flag parser shared by benches and examples.
+///
+/// Unknown keys are kept and can be listed, so binaries can warn instead of
+/// silently ignoring typos. Only long options are supported; everything the
+/// harness binaries need.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys seen on the command line, for unknown-option warnings.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace msol::util

@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace msol::util {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  s.mean = mean(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  if (n > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(n));
+  }
+  return s;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geometric_mean: value <= 0");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace msol::util

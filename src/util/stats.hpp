@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msol::util {
+
+/// Summary statistics of a sample, as reported in campaign tables.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  /// Half-width of the 95% confidence interval on the mean, using the
+  /// normal approximation (adequate for the >=10-repetition campaigns here).
+  double ci95_half_width = 0.0;
+};
+
+/// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// Geometric mean; requires strictly positive values, 0 for empty input.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace msol::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msol::util {
+
+/// Column-aligned ASCII table used by every bench binary so that the
+/// regenerated paper tables/figure series share one readable format.
+///
+///   Table t({"algorithm", "makespan", "ratio"});
+///   t.add_row({"SRPT", "12.50", "1.000"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule; numeric-looking cells are right-aligned.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming to fixed notation.
+std::string fmt(double value, int precision = 3);
+
+}  // namespace msol::util

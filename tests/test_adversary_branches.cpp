@@ -1,0 +1,139 @@
+// Branch coverage for the nine adversary decision trees: scripted
+// schedulers deliberately walk the proofs' "wrong" branches (sending the
+// first task to a slow slave, or stalling past the probe), and the measured
+// ratio must still be at least the theorem bound — the proofs punish every
+// branch, not only the one good algorithms take.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "theory/adversary.hpp"
+
+namespace msol::theory {
+namespace {
+
+/// Sends every task to a fixed slave, immediately.
+class AllTo : public core::OnlineScheduler {
+ public:
+  explicit AllTo(core::SlaveId slave) : slave_(slave) {}
+  std::string name() const override {
+    return "AllTo(P" + std::to_string(slave_ + 1) + ")";
+  }
+  core::Decision decide(const core::OnePortEngine& engine) override {
+    return core::Assign{engine.pending().front(), slave_};
+  }
+
+ private:
+  core::SlaveId slave_;
+};
+
+/// Waits (via WaitUntil — no external event needed) until `wake`, then
+/// sends everything to slave 0 (the proofs' P1). Exercises the "A did not
+/// begin to send the task" branches.
+class Procrastinator : public core::OnlineScheduler {
+ public:
+  explicit Procrastinator(core::Time wake) : wake_(wake) {}
+  std::string name() const override { return "Procrastinator"; }
+  core::Decision decide(const core::OnePortEngine& engine) override {
+    if (engine.now() + core::kTimeEps < wake_) return core::WaitUntil{wake_};
+    return core::Assign{engine.pending().front(), 0};
+  }
+
+ private:
+  core::Time wake_;
+};
+
+/// Sends task i to P1 (walking past the first probe), then dumps every
+/// later task on the last slave. Exercises the late-stage branches.
+class FirstGoodThenBad : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "FirstGoodThenBad"; }
+  core::Decision decide(const core::OnePortEngine& engine) override {
+    const core::TaskId task = engine.pending().front();
+    const core::SlaveId slave =
+        task == 0 ? 0 : engine.platform().size() - 1;
+    return core::Assign{task, slave};
+  }
+};
+
+class BranchCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(BranchCoverage, WrongSlaveBranchStillPaysTheBound) {
+  const auto adversary = make_theorem_adversary(GetParam());
+  AllTo to_p2(1);
+  const AdversaryOutcome outcome = adversary->run(to_p2);
+  EXPECT_NE(outcome.branch.find("P2"), std::string::npos)
+      << "expected the adversary to stop on the wrong-slave branch, got: "
+      << outcome.branch;
+  EXPECT_EQ(outcome.realized.size(), 1);  // adversary stops immediately
+  EXPECT_GE(outcome.ratio, outcome.bound - 0.01);
+}
+
+TEST_P(BranchCoverage, StallingBranchStillPaysTheBound) {
+  // Wake well after every theorem's probe instant (the largest probe is
+  // Theorem 8's tau ~ 0.3 * c1; run() re-probes before the wake).
+  const double eps = 1e-3;
+  const double scale = 1e4;
+  const auto adversary = make_theorem_adversary(GetParam(), eps, scale);
+  Procrastinator lazy(1e6);
+  const AdversaryOutcome outcome = adversary->run(lazy);
+  EXPECT_NE(outcome.branch.find("unsent"), std::string::npos)
+      << outcome.branch;
+  EXPECT_EQ(outcome.realized.size(), 1);
+  EXPECT_GE(outcome.ratio, outcome.bound - 0.01);
+}
+
+TEST_P(BranchCoverage, TrapBranchThenWorstContinuation) {
+  const auto adversary = make_theorem_adversary(GetParam());
+  FirstGoodThenBad policy;
+  const AdversaryOutcome outcome = adversary->run(policy);
+  // Task i went to P1, so the adversary released its follow-up tasks.
+  EXPECT_GE(outcome.realized.size(), 2);
+  EXPECT_GE(outcome.ratio, outcome.bound - 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNineTheorems, BranchCoverage,
+                         ::testing::Range(1, 10),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "Thm" + std::to_string(param_info.param);
+                         });
+
+TEST(BranchCoverage, Theorem1MiddleBranchJOnP2) {
+  // Walks Theorem 1's stage-2 branch: i on P1, then j on P2.
+  class IThenJBad : public core::OnlineScheduler {
+   public:
+    std::string name() const override { return "IThenJBad"; }
+    core::Decision decide(const core::OnePortEngine& engine) override {
+      const core::TaskId task = engine.pending().front();
+      return core::Assign{task, task == 1 ? 1 : 0};
+    }
+  } policy;
+  const auto adversary = make_theorem_adversary(1);
+  const AdversaryOutcome outcome = adversary->run(policy);
+  EXPECT_EQ(outcome.branch, "j on P2 (stop)");
+  EXPECT_EQ(outcome.realized.size(), 2);
+  // The proof's ratio for this branch: 9/7.
+  EXPECT_NEAR(outcome.ratio, 9.0 / 7.0, 1e-9);
+}
+
+TEST(BranchCoverage, Theorem1StalledSecondStage) {
+  // i on P1 promptly, then stall j past t2 = 2c: the "j unsent" branch.
+  class StallSecond : public core::OnlineScheduler {
+   public:
+    std::string name() const override { return "StallSecond"; }
+    core::Decision decide(const core::OnePortEngine& engine) override {
+      const core::TaskId task = engine.pending().front();
+      if (task == 0) return core::Assign{task, 0};
+      if (engine.now() + core::kTimeEps < 2.5) return core::Defer{};
+      return core::Assign{task, 0};
+    }
+  } policy;
+  const auto adversary = make_theorem_adversary(1);
+  const AdversaryOutcome outcome = adversary->run(policy);
+  EXPECT_EQ(outcome.branch, "j unsent; k released at 2c");
+  EXPECT_EQ(outcome.realized.size(), 3);
+  EXPECT_GE(outcome.ratio, 1.25 - 1e-9);
+}
+
+}  // namespace
+}  // namespace msol::theory

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "offline/bounds.hpp"
+#include "offline/exhaustive.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::offline {
+namespace {
+
+using core::Objective;
+using core::Workload;
+using platform::Platform;
+using platform::SlaveSpec;
+
+TEST(Bounds, EmptyWorkloadIsZero) {
+  const LowerBounds lb =
+      lower_bounds(Platform::homogeneous(2, 1.0, 1.0), Workload());
+  EXPECT_DOUBLE_EQ(lb.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(lb.sum_flow, 0.0);
+}
+
+TEST(Bounds, SingleTaskIsTight) {
+  const Platform plat({SlaveSpec{1.0, 3.0}, SlaveSpec{2.0, 7.0}});
+  const LowerBounds lb = lower_bounds(plat, Workload::all_at_zero(1));
+  EXPECT_DOUBLE_EQ(lb.makespan, 4.0);  // c_min + p_min, tight here
+  EXPECT_DOUBLE_EQ(lb.max_flow, 4.0);
+  EXPECT_DOUBLE_EQ(lb.sum_flow, 4.0);
+}
+
+TEST(Bounds, PortChainKicksInForBursts) {
+  // 10 tasks at once, c=1: the port alone needs 10 time units.
+  const Platform plat = Platform::homogeneous(4, 1.0, 0.5);
+  const LowerBounds lb = lower_bounds(plat, Workload::all_at_zero(10));
+  EXPECT_GE(lb.makespan, 10.0 + 0.5 - 1e-9);
+}
+
+TEST(Bounds, CapacityBoundKicksInForSlowSlaves) {
+  // 2 slaves at p=8, 16 tasks: compute capacity needs >= 64 time units.
+  const Platform plat = Platform::homogeneous(2, 0.01, 8.0);
+  const LowerBounds lb = lower_bounds(plat, Workload::all_at_zero(16));
+  EXPECT_GE(lb.makespan, 16.0 / 0.25 - 1e-9);
+}
+
+/// Property: every bound is dominated by the exhaustive optimum.
+class BoundsBelowOptimum : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsBelowOptimum, LowerBoundsNeverExceedOpt) {
+  util::Rng rng(static_cast<std::uint64_t>(5000 + GetParam()));
+  const platform::PlatformGenerator gen;
+  const Platform plat = gen.generate(
+      platform::PlatformClass::kFullyHeterogeneous, 3, rng);
+  Workload work = Workload::poisson(7, 2.0, rng);
+  if (GetParam() % 3 == 0) work = work.with_size_jitter(0.1, rng);
+
+  const LowerBounds lb = lower_bounds(plat, work);
+  for (Objective obj : core::all_objectives()) {
+    const double opt = solve_optimal(plat, work, obj).objective;
+    EXPECT_LE(lb.get(obj), opt + 1e-9)
+        << to_string(obj) << " bound above optimum";
+    EXPECT_GT(lb.get(obj), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsBelowOptimum, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace msol::offline

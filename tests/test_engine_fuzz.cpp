@@ -1,0 +1,129 @@
+// Randomized stress for the engine: random platforms, random probe/inject
+// interleavings, random port capacities and slowdown windows, random (but
+// legal) scheduler behaviour — after every run the from-scratch validator
+// must accept the schedule and the metrics must satisfy basic sanity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.hpp"
+#include "core/validator.hpp"
+#include "offline/bounds.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::core {
+namespace {
+
+/// A scheduler that behaves randomly but legally: assigns a random pending
+/// task (not just the front) to a random slave, sometimes defers, sometimes
+/// waits a random while.
+class ChaoticScheduler : public OnlineScheduler {
+ public:
+  explicit ChaoticScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "Chaotic"; }
+
+  Decision decide(const OnePortEngine& engine) override {
+    const int roll = static_cast<int>(rng_.uniform_int(0, 9));
+    // A plain Defer can legitimately deadlock on a quiet system, so the
+    // chaotic policy only stalls via bounded WaitUntil requests.
+    if (roll <= 1) {
+      return WaitUntil{engine.now() + rng_.uniform(0.01, 0.5)};
+    }
+    const auto& pending = engine.pending();
+    const std::size_t pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+    const SlaveId slave = static_cast<SlaveId>(
+        rng_.uniform_int(0, engine.platform().size() - 1));
+    return Assign{pending[pick], slave};
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, ChaoticRunsStayFeasible) {
+  util::Rng rng(static_cast<std::uint64_t>(9000 + GetParam()));
+  const platform::PlatformGenerator gen;
+  const int m = static_cast<int>(rng.uniform_int(1, 6));
+  const platform::Platform plat = gen.generate(
+      platform::PlatformClass::kFullyHeterogeneous, m, rng);
+
+  EngineOptions options;
+  options.port_capacity = static_cast<int>(rng.uniform_int(0, 3));
+  if (rng.chance(0.5)) {
+    options.slowdowns.push_back(SlowdownWindow{
+        static_cast<SlaveId>(rng.uniform_int(0, m - 1)),
+        rng.uniform(0.0, 5.0), rng.uniform(5.0, 30.0),
+        rng.uniform(1.0, 4.0)});
+  }
+
+  ChaoticScheduler policy(rng.engine()());
+  OnePortEngine engine(plat, policy, options);
+
+  // Preload some tasks, then interleave probes and injections.
+  const int preload = static_cast<int>(rng.uniform_int(1, 10));
+  Workload initial = Workload::poisson(preload, 1.0, rng);
+  if (rng.chance(0.5)) initial = initial.with_size_jitter(0.3, rng);
+  engine.load(initial);
+
+  Time probe = 0.0;
+  const int injections = static_cast<int>(rng.uniform_int(0, 8));
+  for (int k = 0; k < injections; ++k) {
+    probe += rng.uniform(0.0, 3.0);
+    engine.run_until(probe);
+    TaskSpec spec;
+    spec.release = engine.now() + rng.uniform(0.0, 2.0);
+    spec.comm_factor = rng.uniform(0.5, 2.0);
+    spec.comp_factor = rng.uniform(0.5, 2.0);
+    engine.inject_task(spec);
+  }
+  engine.run_to_completion();
+
+  // Rebuild the realized workload. Workload sorts by release while engine
+  // ids are in injection order, so renumber the schedule records through
+  // the same (stable) sort before validating.
+  std::vector<std::pair<TaskSpec, TaskId>> tagged;
+  for (TaskId i = 0; i < engine.total_tasks(); ++i) {
+    tagged.emplace_back(engine.task_spec(i), i);
+  }
+  std::stable_sort(tagged.begin(), tagged.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.release < b.first.release;
+                   });
+  std::vector<TaskSpec> specs;
+  std::vector<TaskId> new_id(tagged.size());
+  for (std::size_t pos = 0; pos < tagged.size(); ++pos) {
+    specs.push_back(tagged[pos].first);
+    new_id[static_cast<std::size_t>(tagged[pos].second)] =
+        static_cast<TaskId>(pos);
+  }
+  const Workload realized{std::move(specs)};
+  Schedule renumbered;
+  for (TaskRecord r : engine.schedule().records()) {
+    r.task = new_id[static_cast<std::size_t>(r.task)];
+    renumbered.add(r);
+  }
+  const std::vector<std::string> violations =
+      validate(plat, realized, renumbered, options);
+  EXPECT_TRUE(violations.empty())
+      << "seed " << GetParam() << ": " << violations.front();
+
+  // Sanity: the engine parked at the true completion instant, and every
+  // objective dominates its closed-form lower bound on a pristine platform.
+  EXPECT_NEAR(engine.now(),
+              std::max(engine.schedule().makespan(), engine.now()), 1e-9);
+  if (options.slowdowns.empty()) {
+    const offline::LowerBounds lb = offline::lower_bounds(plat, realized);
+    EXPECT_GE(engine.schedule().makespan(), lb.makespan - 1e-6);
+    EXPECT_GE(engine.schedule().sum_flow(), lb.sum_flow - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace msol::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/validator.hpp"
+#include "offline/exhaustive.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::offline {
+namespace {
+
+using core::Objective;
+using core::Workload;
+using platform::Platform;
+using platform::SlaveSpec;
+
+TEST(Exhaustive, SingleTaskPicksTheBestChain) {
+  const Platform plat({SlaveSpec{1.0, 3.0}, SlaveSpec{1.0, 7.0}});
+  const ExhaustiveResult r =
+      solve_optimal(plat, Workload::all_at_zero(1), Objective::kMakespan);
+  EXPECT_DOUBLE_EQ(r.objective, 4.0);  // c + p1
+  ASSERT_EQ(r.assignment.size(), 1u);
+  EXPECT_EQ(r.assignment[0], 0);
+}
+
+TEST(Exhaustive, ScheduleIsFeasibleAndConsistent) {
+  const Platform plat({SlaveSpec{0.3, 2.0}, SlaveSpec{0.8, 0.9}});
+  const Workload work = Workload::from_releases({0.0, 0.1, 0.5, 0.5});
+  const ExhaustiveResult r = solve_optimal(plat, work, Objective::kSumFlow);
+  EXPECT_TRUE(core::validate(plat, work, r.schedule).empty());
+  EXPECT_NEAR(r.schedule.sum_flow(), r.objective, 1e-9);
+}
+
+TEST(Exhaustive, EmptyWorkloadIsZero) {
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const ExhaustiveResult r =
+      solve_optimal(plat, Workload(), Objective::kMakespan);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Exhaustive, StateLimitGuards) {
+  const Platform plat = Platform::homogeneous(5, 1.0, 1.0);
+  EXPECT_THROW(solve_optimal(plat, Workload::all_at_zero(20),
+                             Objective::kMakespan, /*state_limit=*/1000),
+               std::invalid_argument);
+}
+
+TEST(Exhaustive, AllObjectivesAtOnceMatchesIndividualSolves) {
+  const Platform plat({SlaveSpec{0.5, 1.5}, SlaveSpec{1.0, 1.0}});
+  const Workload work = Workload::from_releases({0.0, 0.2, 0.4});
+  const OptimalTriple triple = solve_optimal_all(plat, work);
+  for (Objective obj : core::all_objectives()) {
+    EXPECT_DOUBLE_EQ(triple.get(obj),
+                     solve_optimal(plat, work, obj).objective);
+  }
+}
+
+/// Property: branch-and-bound equals plain full enumeration (no pruning
+/// bug can hide), on random small instances.
+class ExhaustiveVsEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveVsEnumeration, PruningIsLossless) {
+  util::Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const platform::PlatformGenerator gen;
+  const Platform plat = gen.generate(
+      platform::PlatformClass::kFullyHeterogeneous, 3, rng);
+  const int n = 6;
+  const Workload work = Workload::poisson(n, 3.0, rng);
+
+  for (Objective obj : core::all_objectives()) {
+    double brute = std::numeric_limits<double>::infinity();
+    std::vector<core::SlaveId> assignment(static_cast<std::size_t>(n), 0);
+    const long total = static_cast<long>(std::pow(3, n));
+    for (long code = 0; code < total; ++code) {
+      long rest = code;
+      for (int i = 0; i < n; ++i) {
+        assignment[static_cast<std::size_t>(i)] =
+            static_cast<core::SlaveId>(rest % 3);
+        rest /= 3;
+      }
+      brute = std::min(brute,
+                       evaluate_assignment(plat, work, assignment).get(obj));
+    }
+    const double solved = solve_optimal(plat, work, obj).objective;
+    EXPECT_NEAR(solved, brute, 1e-9) << to_string(obj);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveVsEnumeration,
+                         ::testing::Range(0, 10));
+
+/// Property: the optimum never beats a valid lower bound and never loses
+/// to any heuristic assignment (spot: all-to-one-slave).
+class ExhaustiveSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveSanity, OptimumIsAtMostAnySingleSlaveChain) {
+  util::Rng rng(static_cast<std::uint64_t>(2000 + GetParam()));
+  const platform::PlatformGenerator gen;
+  const Platform plat = gen.generate(
+      platform::PlatformClass::kFullyHeterogeneous, 3, rng);
+  const Workload work = Workload::poisson(7, 2.0, rng);
+  for (Objective obj : core::all_objectives()) {
+    const double opt = solve_optimal(plat, work, obj).objective;
+    for (core::SlaveId j = 0; j < plat.size(); ++j) {
+      const std::vector<core::SlaveId> all_j(7, j);
+      EXPECT_LE(opt, evaluate_assignment(plat, work, all_j).get(obj) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveSanity, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace msol::offline

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/replay.hpp"
+#include "core/engine.hpp"
+#include "core/validator.hpp"
+#include "offline/forward_sim.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::offline {
+namespace {
+
+using core::Workload;
+using platform::Platform;
+using platform::SlaveSpec;
+
+TEST(ForwardSim, MatchesHandComputedTrajectory) {
+  const Platform plat({SlaveSpec{1.0, 3.0}, SlaveSpec{1.0, 7.0}});
+  const core::Schedule s = simulate_assignment(
+      plat, Workload::from_releases({0.0, 1.0, 2.0}), {1, 0, 0});
+  // Theorem 1's optimal schedule: i on P2, j and k on P1, makespan 8.
+  EXPECT_DOUBLE_EQ(s.at(0).comp_end, 8.0);
+  EXPECT_DOUBLE_EQ(s.at(1).comp_end, 5.0);
+  // Task k arrives on P1 at t=3 but waits for j to finish at t=5.
+  EXPECT_DOUBLE_EQ(s.at(2).comp_start, 5.0);
+  EXPECT_DOUBLE_EQ(s.at(2).comp_end, 8.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 8.0);
+}
+
+TEST(ForwardSim, EvaluateAgreesWithSimulate) {
+  const Platform plat({SlaveSpec{0.5, 2.0}, SlaveSpec{1.5, 1.0}});
+  const Workload work = Workload::from_releases({0.0, 0.3, 0.9, 2.0});
+  const std::vector<core::SlaveId> assignment = {0, 1, 1, 0};
+  const core::Schedule s = simulate_assignment(plat, work, assignment);
+  const ObjectiveTriple t = evaluate_assignment(plat, work, assignment);
+  EXPECT_DOUBLE_EQ(t.makespan, s.makespan());
+  EXPECT_DOUBLE_EQ(t.max_flow, s.max_flow());
+  EXPECT_DOUBLE_EQ(t.sum_flow, s.sum_flow());
+}
+
+TEST(ForwardSim, RejectsSizeMismatchAndBadSlave) {
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  EXPECT_THROW(simulate_assignment(plat, Workload::all_at_zero(2), {0}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_assignment(plat, Workload::all_at_zero(1), {5}),
+               std::invalid_argument);
+}
+
+/// Property: the offline forward simulator and the on-line engine replaying
+/// the same assignment must produce identical schedules. This pins the two
+/// independent implementations of the one-port semantics to each other.
+class ForwardSimEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForwardSimEngineAgreement, EngineReplayEqualsForwardSim) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const platform::PlatformGenerator gen;
+  const Platform plat = gen.generate(
+      platform::PlatformClass::kFullyHeterogeneous, 4, rng);
+  const int n = 12;
+  const Workload work = Workload::poisson(n, 2.0, rng);
+  std::vector<core::SlaveId> assignment;
+  for (int i = 0; i < n; ++i) {
+    assignment.push_back(static_cast<core::SlaveId>(rng.uniform_int(0, 3)));
+  }
+
+  const core::Schedule offline_side =
+      simulate_assignment(plat, work, assignment);
+  algorithms::Replay replay(assignment);
+  const core::Schedule engine_side = core::simulate(plat, work, replay);
+
+  ASSERT_EQ(offline_side.size(), engine_side.size());
+  for (int i = 0; i < n; ++i) {
+    const core::TaskRecord* a = offline_side.find(i);
+    const core::TaskRecord* b = engine_side.find(i);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->slave, b->slave);
+    EXPECT_NEAR(a->send_start, b->send_start, 1e-9);
+    EXPECT_NEAR(a->send_end, b->send_end, 1e-9);
+    EXPECT_NEAR(a->comp_start, b->comp_start, 1e-9);
+    EXPECT_NEAR(a->comp_end, b->comp_end, 1e-9);
+  }
+  EXPECT_TRUE(core::validate(plat, work, offline_side).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardSimEngineAgreement,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace msol::offline

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/replay.hpp"
+#include "core/engine.hpp"
+#include "core/gantt.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+namespace {
+
+using platform::Platform;
+using platform::SlaveSpec;
+
+TEST(Gantt, RendersOneRowPerResource) {
+  const Platform plat({SlaveSpec{1.0, 3.0}, SlaveSpec{1.0, 7.0}});
+  algorithms::Replay replay({0, 1});
+  const Schedule s = simulate(plat, Workload::all_at_zero(2), replay);
+  const std::string art = render_gantt(plat, s, 40);
+  EXPECT_NE(art.find("master |"), std::string::npos);
+  EXPECT_NE(art.find("P0"), std::string::npos);
+  EXPECT_NE(art.find("P1"), std::string::npos);
+}
+
+TEST(Gantt, PaintsTaskGlyphs) {
+  const Platform plat({SlaveSpec{1.0, 3.0}});
+  algorithms::Replay replay({0});
+  const Schedule s = simulate(plat, Workload::all_at_zero(1), replay);
+  const std::string art = render_gantt(plat, s, 40);
+  EXPECT_NE(art.find('0'), std::string::npos);
+}
+
+TEST(Gantt, HandlesEmptySchedule) {
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const std::string art = render_gantt(plat, Schedule{}, 40);
+  EXPECT_NE(art.find("master"), std::string::npos);
+}
+
+TEST(Gantt, ClampsTinyColumnCounts) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  algorithms::Replay replay({0});
+  const Schedule s = simulate(plat, Workload::all_at_zero(1), replay);
+  EXPECT_NO_THROW(render_gantt(plat, s, 1));
+}
+
+}  // namespace
+}  // namespace msol::core

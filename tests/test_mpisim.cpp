@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "algorithms/list_scheduling.hpp"
+#include "core/validator.hpp"
+#include "mpisim/channel.hpp"
+#include "mpisim/matrix.hpp"
+#include "mpisim/runtime.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace msol::mpisim {
+namespace {
+
+using platform::Platform;
+using platform::SlaveSpec;
+
+// -------------------------------------------------------------- matrix ------
+
+TEST(MatrixDeterminant, IdentityIsOne) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix::identity(5)), 1.0);
+}
+
+TEST(MatrixDeterminant, DiagonalIsProduct) {
+  Matrix m(3);
+  m.at(0, 0) = 2.0;
+  m.at(1, 1) = -3.0;
+  m.at(2, 2) = 0.5;
+  EXPECT_NEAR(determinant(m), -3.0, 1e-12);
+}
+
+TEST(MatrixDeterminant, KnownTwoByTwo) {
+  Matrix m(2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  EXPECT_NEAR(determinant(m), -2.0, 1e-12);
+}
+
+TEST(MatrixDeterminant, SwapNegates) {
+  util::Rng rng(3);
+  Matrix m = Matrix::random(4, rng);
+  Matrix swapped = m;
+  for (int j = 0; j < 4; ++j) std::swap(swapped.at(0, j), swapped.at(1, j));
+  EXPECT_NEAR(determinant(swapped), -determinant(m), 1e-9);
+}
+
+TEST(MatrixDeterminant, SingularIsZero) {
+  Matrix m(3);  // all zeros
+  EXPECT_DOUBLE_EQ(determinant(m), 0.0);
+  // Duplicate rows.
+  util::Rng rng(4);
+  Matrix d = Matrix::random(3, rng);
+  for (int j = 0; j < 3; ++j) d.at(2, j) = d.at(1, j);
+  EXPECT_NEAR(determinant(d), 0.0, 1e-9);
+}
+
+TEST(MatrixDeterminant, MultiplicativeOnTriangularPair) {
+  // det(A) for A = L with unit diagonal is 1, regardless of fill.
+  Matrix lower(4);
+  for (int i = 0; i < 4; ++i) {
+    lower.at(i, i) = 1.0;
+    for (int j = 0; j < i; ++j) lower.at(i, j) = 0.3 * (i + j);
+  }
+  EXPECT_NEAR(determinant(lower), 1.0, 1e-12);
+}
+
+TEST(Matrix, RejectsNonPositiveSize) {
+  EXPECT_THROW(Matrix(0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- channel ------
+
+TEST(Channel, FifoDelivery) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.receive(), 1);
+  EXPECT_EQ(ch.receive(), 2);
+}
+
+TEST(Channel, CloseUnblocksReceiver) {
+  Channel<int> ch;
+  std::thread t([&] { EXPECT_EQ(ch.receive(), std::nullopt); });
+  ch.close();
+  t.join();
+}
+
+TEST(Channel, DrainsQueueBeforeReportingClosed) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_EQ(ch.receive(), 7);
+  EXPECT_EQ(ch.receive(), std::nullopt);
+}
+
+// ------------------------------------------------------------- runtime ------
+
+TEST(Calibrate, ProducesPositiveTimings) {
+  const Calibration cal = calibrate(32, 5);
+  EXPECT_GT(cal.copy_seconds, 0.0);
+  EXPECT_GT(cal.det_seconds, 0.0);
+  // An O(n^3) determinant costs more than an O(n^2) copy.
+  EXPECT_GT(cal.det_seconds, cal.copy_seconds);
+}
+
+TEST(ThreadedRuntime, MeasuredTracksPredicted) {
+  // A small, comfortably-timed run: the measured trajectory must stay close
+  // to the engine's prediction (same assignments, completion within ~25%).
+  const Platform plat({SlaveSpec{0.2, 1.0}, SlaveSpec{0.1, 2.0}});
+  RuntimeConfig config;
+  config.matrix_size = 32;
+  config.real_seconds_per_virtual = 0.02;
+  ThreadedRuntime runtime(plat, config);
+
+  algorithms::ListScheduling ls;
+  const core::Workload work = core::Workload::all_at_zero(8);
+  const RunResult result = runtime.run(work, ls);
+
+  ASSERT_EQ(result.measured.size(), work.size());
+  ASSERT_EQ(result.predicted.size(), work.size());
+  EXPECT_NE(result.checksum, 0.0);
+
+  for (int i = 0; i < work.size(); ++i) {
+    const core::TaskRecord* p = result.predicted.find(i);
+    const core::TaskRecord* m = result.measured.find(i);
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(p->slave, m->slave);
+    EXPECT_GE(m->send_start, p->send_start - 0.05);  // never early
+  }
+  // Wall-clock timing is noisy under CI load; the window is deliberately
+  // wide — the cross-check bench reports the tight numbers.
+  EXPECT_GT(result.measured.makespan(), 0.3 * result.predicted.makespan());
+  EXPECT_LT(result.measured.makespan(), 5.0 * result.predicted.makespan());
+}
+
+TEST(ThreadedRuntime, MeasuredScheduleRespectsOrderingInvariants) {
+  const Platform plat({SlaveSpec{0.15, 0.8}, SlaveSpec{0.25, 0.6}});
+  RuntimeConfig config;
+  config.matrix_size = 24;
+  config.real_seconds_per_virtual = 0.02;
+  ThreadedRuntime runtime(plat, config);
+  algorithms::ListScheduling ls;
+  const core::Workload work = core::Workload::all_at_zero(6);
+  const RunResult result = runtime.run(work, ls);
+
+  // Real sends are serialized by the master thread (one-port by
+  // construction) and each compute follows its own arrival.
+  std::vector<core::TaskRecord> recs = result.measured.records();
+  std::sort(recs.begin(), recs.end(), [](const auto& a, const auto& b) {
+    return a.send_start < b.send_start;
+  });
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].send_start, recs[i - 1].send_end - 1e-9);
+  }
+  for (const core::TaskRecord& r : recs) {
+    EXPECT_GE(r.comp_start, r.send_start);
+    EXPECT_GE(r.comp_end, r.comp_start);
+  }
+}
+
+TEST(ThreadedRuntime, ReplicationCountsScaleWithPlatform) {
+  const Platform plat({SlaveSpec{0.1, 0.5}, SlaveSpec{0.4, 2.0}});
+  RuntimeConfig config;
+  config.matrix_size = 24;
+  config.real_seconds_per_virtual = 0.02;
+  ThreadedRuntime runtime(plat, config);
+  algorithms::ListScheduling ls;
+  const RunResult result = runtime.run(core::Workload::all_at_zero(2), ls);
+  // Slave 1 has 4x the comm cost and 4x the compute cost of slave 0.
+  EXPECT_GT(result.send_reps[1], result.send_reps[0]);
+  EXPECT_GT(result.compute_reps[1], result.compute_reps[0]);
+}
+
+TEST(ThreadedRuntime, RejectsNonPositiveScale) {
+  RuntimeConfig config;
+  config.real_seconds_per_virtual = 0.0;
+  EXPECT_THROW(ThreadedRuntime(Platform::homogeneous(2, 0.1, 0.5), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msol::mpisim

@@ -1,0 +1,347 @@
+// Reproduces the explicit numeric values written out in the proofs of
+// Theorems 1-9: every "the best achievable makespan is then ..." / "a better
+// schedule ... leads to ..." claim becomes an executable check, either by
+// replaying the proof's schedule through the engine or by asking the
+// exhaustive solver for the instance's optimum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/replay.hpp"
+#include "core/engine.hpp"
+#include "offline/exhaustive.hpp"
+#include "platform/platform.hpp"
+
+namespace msol {
+namespace {
+
+using algorithms::Replay;
+using core::Objective;
+using core::Workload;
+using platform::Platform;
+using platform::SlaveSpec;
+
+constexpr core::SlaveId P1 = 0;
+constexpr core::SlaveId P2 = 1;
+constexpr core::SlaveId P3 = 2;
+
+double replay_objective(const Platform& plat, const Workload& work,
+                        std::vector<core::SlaveId> assignment,
+                        Objective objective) {
+  Replay replay(std::move(assignment));
+  return core::simulate(plat, work, replay).objective(objective);
+}
+
+double optimal(const Platform& plat, const Workload& work,
+               Objective objective) {
+  return offline::solve_optimal(plat, work, objective).objective;
+}
+
+// ----------------------------------------------------------- Theorem 1 ------
+
+class Theorem1Arithmetic : public ::testing::Test {
+ protected:
+  const Platform plat{{SlaveSpec{1.0, 3.0}, SlaveSpec{1.0, 7.0}}};
+};
+
+TEST_F(Theorem1Arithmetic, OneTaskOptimum) {
+  // "achieving a makespan at least equal to c + p1 = 4"
+  EXPECT_NEAR(optimal(plat, Workload::all_at_zero(1), Objective::kMakespan),
+              4.0, 1e-9);
+}
+
+TEST_F(Theorem1Arithmetic, TwoTaskValues) {
+  const Workload work = Workload::from_releases({0.0, 1.0});
+  // "the best achievable makespan is then max{c+p1, 2c+p2} = 9"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2}, Objective::kMakespan),
+              9.0, 1e-9);
+  // "the optimal is to send the two tasks to P1 for a makespan of 7"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1}, Objective::kMakespan),
+              7.0, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kMakespan), 7.0, 1e-9);
+}
+
+TEST_F(Theorem1Arithmetic, ThreeTaskValues) {
+  const Workload work = Workload::from_releases({0.0, 1.0, 2.0});
+  // "either on P1 for a makespan of ... = 10, or on P2 for ... = 10"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1, P1}, Objective::kMakespan),
+              10.0, 1e-9);
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1, P2}, Objective::kMakespan),
+              10.0, 1e-9);
+  // "scheduling the first task on P2 and the two others on P1 leads to 8"
+  EXPECT_NEAR(replay_objective(plat, work, {P2, P1, P1}, Objective::kMakespan),
+              8.0, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kMakespan), 8.0, 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 2 ------
+
+class Theorem2Arithmetic : public ::testing::Test {
+ protected:
+  const double s2 = std::sqrt(2.0);
+  const Platform plat{{SlaveSpec{1.0, 2.0}, SlaveSpec{1.0, 4.0 * s2 - 2.0}}};
+};
+
+TEST_F(Theorem2Arithmetic, OneTaskOptimum) {
+  // "a sum-flow at least equal to c + p1 = 3"
+  EXPECT_NEAR(optimal(plat, Workload::all_at_zero(1), Objective::kSumFlow),
+              3.0, 1e-9);
+}
+
+TEST_F(Theorem2Arithmetic, TwoTaskValues) {
+  const Workload work = Workload::from_releases({0.0, 1.0});
+  // "the best achievable sum-flow is then ... = 2 + 4*sqrt(2)"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2}, Objective::kSumFlow),
+              2.0 + 4.0 * s2, 1e-9);
+  // "send the two tasks to P1 for a sum-flow of 7"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1}, Objective::kSumFlow),
+              7.0, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kSumFlow), 7.0, 1e-9);
+}
+
+TEST_F(Theorem2Arithmetic, ThreeTaskValues) {
+  const Workload work = Workload::from_releases({0.0, 1.0, 2.0});
+  // "either on P1 for a sum-flow of ... = 12"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1, P1}, Objective::kSumFlow),
+              12.0, 1e-9);
+  // "or on P2 for a sum-flow of ... = 6 + 4*sqrt(2)"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1, P2}, Objective::kSumFlow),
+              6.0 + 4.0 * s2, 1e-9);
+  // "scheduling the second task on P2 and the two others on P1 leads to
+  //  5 + 4*sqrt(2)"
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2, P1}, Objective::kSumFlow),
+              5.0 + 4.0 * s2, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kSumFlow), 5.0 + 4.0 * s2, 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 3 ------
+
+class Theorem3Arithmetic : public ::testing::Test {
+ protected:
+  const double s7 = std::sqrt(7.0);
+  const double tau = (4.0 - s7) / 3.0;
+  const Platform plat{{SlaveSpec{1.0, (2.0 + s7) / 3.0},
+                       SlaveSpec{1.0, (1.0 + 2.0 * s7) / 3.0}}};
+};
+
+TEST_F(Theorem3Arithmetic, OneTaskOptimum) {
+  // "a max-flow at least equal to c + p1 = (5+sqrt(7))/3"
+  EXPECT_NEAR(optimal(plat, Workload::all_at_zero(1), Objective::kMaxFlow),
+              (5.0 + s7) / 3.0, 1e-9);
+}
+
+TEST_F(Theorem3Arithmetic, TwoTaskValues) {
+  const Workload work = Workload::from_releases({0.0, tau});
+  // "the best schedule ... max-flow of (4+2*sqrt(7))/3"
+  EXPECT_NEAR(replay_objective(plat, work, {P2, P1}, Objective::kMaxFlow),
+              (4.0 + 2.0 * s7) / 3.0, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kMaxFlow),
+              (4.0 + 2.0 * s7) / 3.0, 1e-9);
+  // both continuations of "i on P1" cost 1 + sqrt(7)
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2}, Objective::kMaxFlow),
+              1.0 + s7, 1e-9);
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1}, Objective::kMaxFlow),
+              1.0 + s7, 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 4 ------
+
+class Theorem4Arithmetic : public ::testing::Test {
+ protected:
+  const double p = 100.0;
+  const Platform plat{{SlaveSpec{1.0, p}, SlaveSpec{p / 2.0, p}}};
+  const Workload work{
+      Workload::from_releases({0.0, p / 2.0, p / 2.0, p / 2.0})};
+};
+
+TEST_F(Theorem4Arithmetic, FourTaskValues) {
+  // Case 1 (j on P1): makespan 1 + 3p.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P2, P2}, Objective::kMakespan),
+      1.0 + 3.0 * p, 1e-9);
+  // Cases 2 and 3 (k or l on P1): makespan 3p.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P1, P2}, Objective::kMakespan),
+      3.0 * p, 1e-9);
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P2, P1}, Objective::kMakespan),
+      3.0 * p, 1e-9);
+  // "a better schedule ... i on P2, j on P1, k on P2, l on P1 ... 1 + 5p/2"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P2, P1, P2, P1}, Objective::kMakespan),
+      1.0 + 2.5 * p, 1e-9);
+  EXPECT_LE(optimal(plat, work, Objective::kMakespan), 1.0 + 2.5 * p + 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 5 ------
+
+class Theorem5Arithmetic : public ::testing::Test {
+ protected:
+  const double eps = 1e-3;
+  const double p = 2.0 - eps;
+  const double tau = 1.0 - eps;
+  const Platform plat{{SlaveSpec{eps, p}, SlaveSpec{1.0, p}}};
+  const Workload work{Workload::from_releases({0.0, tau, tau, tau})};
+};
+
+TEST_F(Theorem5Arithmetic, FourTaskValues) {
+  // Case 1 (j on P1): max-flow 5 - eps.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P2, P2}, Objective::kMaxFlow),
+      5.0 - eps, 1e-9);
+  // Case 2 (k on P1): max-flow 5 - 2*eps.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P1, P2}, Objective::kMaxFlow),
+      5.0 - 2.0 * eps, 1e-9);
+  // "a better schedule ... max-flow ... equal to 4"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P2, P1, P2, P1}, Objective::kMaxFlow),
+      4.0, 1e-9);
+  EXPECT_LE(optimal(plat, work, Objective::kMaxFlow), 4.0 + 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 6 ------
+
+class Theorem6Arithmetic : public ::testing::Test {
+ protected:
+  const Platform plat{{SlaveSpec{1.0, 3.0}, SlaveSpec{2.0, 3.0}}};
+  const Workload work{Workload::from_releases({0.0, 2.0, 2.0, 2.0})};
+};
+
+TEST_F(Theorem6Arithmetic, FourTaskValues) {
+  // "If all tasks are executed on P1 the sum-flow is ... 28"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P1, P1}, Objective::kSumFlow),
+      28.0, 1e-9);
+  // "If j is the only task executed on P2 ... 24"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P1, P1}, Objective::kSumFlow),
+      24.0, 1e-9);
+  // "If k is the only task executed on P2 ... 23"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P2, P1}, Objective::kSumFlow),
+      23.0, 1e-9);
+  // "If l is the only task executed on P2 ... 24"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P1, P2}, Objective::kSumFlow),
+      24.0, 1e-9);
+  // "If j,k,l are executed on P2 ... 28"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P2, P2}, Objective::kSumFlow),
+      28.0, 1e-9);
+  // Two tasks on each: j with i -> 24, k with i -> 23, l with i -> 25.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P2, P2}, Objective::kSumFlow),
+      24.0, 1e-9);
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P1, P2}, Objective::kSumFlow),
+      23.0, 1e-9);
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P2, P1}, Objective::kSumFlow),
+      25.0, 1e-9);
+  // "a better schedule ... 22"
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P2, P1, P2, P1}, Objective::kSumFlow),
+      22.0, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kSumFlow), 22.0, 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 7 ------
+
+class Theorem7Arithmetic : public ::testing::Test {
+ protected:
+  const double eps = 1e-3;
+  const double s3 = std::sqrt(3.0);
+  const Platform plat{{SlaveSpec{1.0 + s3, eps}, SlaveSpec{1.0, 1.0 + s3},
+                       SlaveSpec{1.0, 1.0 + s3}}};
+  const Workload work{Workload::from_releases({0.0, 1.0, 1.0})};
+};
+
+TEST_F(Theorem7Arithmetic, ThreeTaskValues) {
+  // "j and k on P1": 3*(1+sqrt(3)) + eps.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P1}, Objective::kMakespan),
+      3.0 * (1.0 + s3) + eps, 1e-9);
+  // "first on P2, other on P1": 3 + 2*sqrt(3) + eps.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P1}, Objective::kMakespan),
+      3.0 + 2.0 * s3 + eps, 1e-9);
+  // "first on P1, other on P2": 4 + 3*sqrt(3).
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P1, P2}, Objective::kMakespan),
+      4.0 + 3.0 * s3, 1e-9);
+  // "one on P2 and the other on P3": 4 + 2*sqrt(3).
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P1, P2, P3}, Objective::kMakespan),
+      4.0 + 2.0 * s3, 1e-9);
+  // "we could have scheduled i on P2, j on P3, k on P1": 3 + sqrt(3) + eps.
+  EXPECT_NEAR(
+      replay_objective(plat, work, {P2, P3, P1}, Objective::kMakespan),
+      3.0 + s3 + eps, 1e-9);
+  EXPECT_NEAR(optimal(plat, work, Objective::kMakespan), 3.0 + s3 + eps, 1e-9);
+}
+
+// ----------------------------------------------------------- Theorem 9 ------
+
+class Theorem9Arithmetic : public ::testing::Test {
+ protected:
+  const double eps = 1e-3;
+  const double s2 = std::sqrt(2.0);
+  const double c1 = 2.0 * (1.0 + s2);
+  const double tau = (s2 - 1.0) * c1;
+  const Platform plat{{SlaveSpec{c1, eps}, SlaveSpec{1.0, s2 * c1 - 1.0},
+                       SlaveSpec{1.0, s2 * c1 - 1.0}}};
+  const Workload work{Workload::from_releases({0.0, tau, tau})};
+};
+
+TEST_F(Theorem9Arithmetic, ThreeTaskValues) {
+  // "first on P2 (or P3), other on P1": max-flow 2*c1 — the algorithm's
+  // best continuation after the trap.
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2, P1}, Objective::kMaxFlow),
+              2.0 * c1, 1e-9);
+  // "first on P1, other on P2": 3*c1.
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P1, P2}, Objective::kMaxFlow),
+              3.0 * c1, 1e-9);
+  // "one on P2, the other on P3": 2*c1 + 1.
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2, P3}, Objective::kMaxFlow),
+              2.0 * c1 + 1.0, 1e-9);
+  // "i on P2, j on P3, k on P1": sqrt(2)*c1 — the off-line winner.
+  EXPECT_NEAR(replay_objective(plat, work, {P2, P3, P1}, Objective::kMaxFlow),
+              s2 * c1, 1e-9);
+  EXPECT_LE(optimal(plat, work, Objective::kMaxFlow), s2 * c1 + 1e-9);
+  // Ratio of the trapped best vs the optimum is exactly sqrt(2).
+  EXPECT_NEAR((2.0 * c1) / (s2 * c1), s2, 1e-12);
+}
+
+// ----------------------------------------------------------- Theorem 8 ------
+
+class Theorem8Arithmetic : public ::testing::Test {
+ protected:
+  const double eps = 1e-3;
+  const double c1 = 1e4;
+  const double tau =
+      (std::sqrt(52.0 * c1 * c1 + 12.0 * c1 + 1.0) - (6.0 * c1 + 1.0)) / 4.0;
+  const Platform plat{{SlaveSpec{c1, eps}, SlaveSpec{1.0, tau + c1 - 1.0},
+                       SlaveSpec{1.0, tau + c1 - 1.0}}};
+  const Workload work{Workload::from_releases({0.0, tau, tau})};
+};
+
+TEST_F(Theorem8Arithmetic, ThreeTaskValues) {
+  // "first on P2 (or P3), other on P1": sum-flow 5*c1 - tau + 1 + 2*eps.
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2, P1}, Objective::kSumFlow),
+              5.0 * c1 - tau + 1.0 + 2.0 * eps, 1e-6);
+  // "one on P2 and the other on P3": 5*c1 + 1 + eps.
+  EXPECT_NEAR(replay_objective(plat, work, {P1, P2, P3}, Objective::kSumFlow),
+              5.0 * c1 + 1.0 + eps, 1e-6);
+  // "i on P2, j on P3, k on P1": 3*c1 + 2*tau + 1 + eps.
+  EXPECT_NEAR(replay_objective(plat, work, {P2, P3, P1}, Objective::kSumFlow),
+              3.0 * c1 + 2.0 * tau + 1.0 + eps, 1e-6);
+  // The induced ratio converges to (sqrt(13)-1)/2 from below.
+  const double ratio = (5.0 * c1 - tau + 1.0 + 2.0 * eps) /
+                       (3.0 * c1 + 2.0 * tau + 1.0 + eps);
+  EXPECT_NEAR(ratio, (std::sqrt(13.0) - 1.0) / 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace msol

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/replay.hpp"
+#include "algorithms/srpt.hpp"
+#include "core/engine.hpp"
+#include "core/trace.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+namespace {
+
+using platform::Platform;
+using platform::SlaveSpec;
+
+Platform two_slaves() {
+  return Platform({SlaveSpec{1.0, 3.0}, SlaveSpec{1.0, 7.0}});
+}
+
+EngineOptions traced() {
+  EngineOptions options;
+  options.enable_trace = true;
+  return options;
+}
+
+TEST(Trace, DisabledByDefault) {
+  algorithms::Replay replay({0});
+  OnePortEngine engine(two_slaves(), replay);
+  engine.load(Workload::all_at_zero(1));
+  engine.run_to_completion();
+  EXPECT_TRUE(engine.trace().empty());
+}
+
+TEST(Trace, RecordsLifecycleOfEveryTask) {
+  algorithms::Replay replay({0, 1});
+  OnePortEngine engine(two_slaves(), replay, traced());
+  engine.load(Workload::all_at_zero(2));
+  engine.run_to_completion();
+  const Trace& trace = engine.trace();
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kRelease), 2);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kAssign), 2);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kSendEnd), 2);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kCompEnd), 2);
+}
+
+TEST(Trace, RecordsDefersFromWaitingPolicies) {
+  // SRPT defers while both slaves are busy.
+  algorithms::Srpt srpt;
+  OnePortEngine engine(two_slaves(), srpt, traced());
+  engine.load(Workload::all_at_zero(4));
+  engine.run_to_completion();
+  EXPECT_GT(engine.trace().count(TraceEvent::Kind::kDefer), 0);
+}
+
+TEST(Trace, DumpIsTimeSortedAndNamesEvents) {
+  algorithms::Replay replay({1, 0});
+  OnePortEngine engine(two_slaves(), replay, traced());
+  engine.load(Workload::all_at_zero(2));
+  engine.run_to_completion();
+  const std::string dump = engine.trace().to_string();
+  EXPECT_NE(dump.find("assign"), std::string::npos);
+  EXPECT_NE(dump.find("comp-end"), std::string::npos);
+  // Time-sorted: the first line is a t=0 event.
+  EXPECT_EQ(dump.rfind("t=0", 0), 0u);
+  // Every line mentions a kind string.
+  EXPECT_EQ(engine.trace().count(TraceEvent::Kind::kWaitUntil), 0);
+}
+
+TEST(Trace, KindNamesAreDistinct) {
+  EXPECT_EQ(to_string(TraceEvent::Kind::kRelease), "release");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kAssign), "assign");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kDefer), "defer");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kWaitUntil), "wait-until");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kSendEnd), "send-end");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kCompEnd), "comp-end");
+}
+
+}  // namespace
+}  // namespace msol::core

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace msol::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LE(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng rng(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    lo |= (v == 0);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(4.0);
+  EXPECT_NEAR(total / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUsage) {
+  Rng parent1(99);
+  Rng child1 = parent1.fork();
+  Rng parent2(99);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+  }
+}
+
+// -------------------------------------------------------------- stats ------
+
+TEST(Stats, SummaryOfKnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+TEST(Stats, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleValueHasNoSpread) {
+  const Summary s = summarize({42.0});
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, 4.0}), 2.0);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- table ------
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "10.25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("10.25"), std::string::npos);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FmtFixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+// ---------------------------------------------------------------- cli ------
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--tasks=100", "--verbose", "positional"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("tasks", 0), 100);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose", ""), "true");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get("s", "dflt"), "dflt");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msol::util

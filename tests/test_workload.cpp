@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "util/rng.hpp"
+
+namespace msol::core {
+namespace {
+
+TEST(Workload, SortsByReleaseKeepingStability) {
+  const Workload w({TaskSpec{2.0, 1.0, 1.0}, TaskSpec{0.0, 2.0, 1.0},
+                    TaskSpec{2.0, 3.0, 1.0}});
+  EXPECT_DOUBLE_EQ(w.at(0).release, 0.0);
+  EXPECT_DOUBLE_EQ(w.at(1).release, 2.0);
+  EXPECT_DOUBLE_EQ(w.at(1).comm_factor, 1.0);  // first of the ties
+  EXPECT_DOUBLE_EQ(w.at(2).comm_factor, 3.0);
+}
+
+TEST(Workload, RejectsInvalidSpecs) {
+  EXPECT_THROW(Workload({TaskSpec{-1.0, 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Workload({TaskSpec{0.0, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Workload({TaskSpec{0.0, 1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(Workload, AllAtZero) {
+  const Workload w = Workload::all_at_zero(5);
+  EXPECT_EQ(w.size(), 5);
+  for (TaskId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(w.at(i).release, 0.0);
+    EXPECT_DOUBLE_EQ(w.at(i).comm_factor, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(w.last_release(), 0.0);
+}
+
+TEST(Workload, PoissonIsSortedAndStartsAtZero) {
+  util::Rng rng(9);
+  const Workload w = Workload::poisson(200, 2.0, rng);
+  EXPECT_EQ(w.size(), 200);
+  EXPECT_DOUBLE_EQ(w.at(0).release, 0.0);
+  for (TaskId i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w.at(i).release, w.at(i - 1).release);
+  }
+}
+
+TEST(Workload, PoissonMeanInterArrivalMatchesRate) {
+  util::Rng rng(9);
+  const Workload w = Workload::poisson(5000, 2.0, rng);
+  EXPECT_NEAR(w.last_release() / (w.size() - 1), 0.5, 0.05);
+}
+
+TEST(Workload, UniformWithinHorizon) {
+  util::Rng rng(4);
+  const Workload w = Workload::uniform(100, 10.0, rng);
+  for (TaskId i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.at(i).release, 0.0);
+    EXPECT_LE(w.at(i).release, 10.0);
+  }
+}
+
+TEST(Workload, BurstyGroupsReleases) {
+  util::Rng rng(4);
+  const Workload w = Workload::bursty(50, 10, 5.0, rng);
+  EXPECT_EQ(w.size(), 50);
+  // First ten tasks share release 0.
+  for (TaskId i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(w.at(i).release, 0.0);
+  // Bursts are separated (the 11th task comes strictly later w.h.p.).
+  EXPECT_GT(w.at(10).release, 0.0);
+}
+
+TEST(Workload, FromReleasesSortsInput) {
+  const Workload w = Workload::from_releases({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(w.at(0).release, 1.0);
+  EXPECT_DOUBLE_EQ(w.at(2).release, 3.0);
+}
+
+TEST(Workload, SizeJitterStaysInBandAndKeepsReleases) {
+  util::Rng rng(12);
+  const Workload base = Workload::all_at_zero(100);
+  const Workload jittered = base.with_size_jitter(0.10, rng);
+  ASSERT_EQ(jittered.size(), base.size());
+  bool any_off_one = false;
+  for (TaskId i = 0; i < jittered.size(); ++i) {
+    const TaskSpec& t = jittered.at(i);
+    EXPECT_DOUBLE_EQ(t.release, 0.0);
+    EXPECT_GE(t.comm_factor, 0.9);
+    EXPECT_LE(t.comm_factor, 1.1);
+    // Comm and comp scale together: it is the matrix that changes size.
+    EXPECT_DOUBLE_EQ(t.comm_factor, t.comp_factor);
+    if (t.comm_factor != 1.0) any_off_one = true;
+  }
+  EXPECT_TRUE(any_off_one);
+}
+
+TEST(Workload, SizeJitterRejectsBadDelta) {
+  util::Rng rng(12);
+  const Workload base = Workload::all_at_zero(3);
+  EXPECT_THROW(base.with_size_jitter(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(base.with_size_jitter(1.0, rng), std::invalid_argument);
+}
+
+TEST(Workload, AtRejectsOutOfRange) {
+  const Workload w = Workload::all_at_zero(2);
+  EXPECT_THROW(w.at(-1), std::out_of_range);
+  EXPECT_THROW(w.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace msol::core
