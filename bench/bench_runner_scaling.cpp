@@ -1,0 +1,88 @@
+// Grid throughput (cells/sec) of the parallel scenario runner at 1/2/4/8
+// worker threads, on a fixed 16-cell grid. Seeds the perf trajectory for
+// the runner subsystem: future PRs should move the cells/sec column up
+// without breaking the bit-identical-output guarantee (which this bench
+// also asserts as a cheap cross-check).
+//
+//   bench_runner_scaling [--platforms=N] [--tasks=N] [--repeat=N] [--csv]
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/parallel_runner.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+msol::runner::ScenarioGrid scaling_grid(const msol::util::Cli& cli) {
+  using msol::experiments::ArrivalProcess;
+  using msol::platform::PlatformClass;
+  msol::runner::ScenarioGrid grid;
+  grid.name = "scaling";
+  grid.seed = 2006;
+  grid.num_platforms = static_cast<int>(cli.get_int("platforms", 4));
+  grid.num_tasks = static_cast<int>(cli.get_int("tasks", 300));
+  grid.lookahead = grid.num_tasks;
+  grid.classes = {PlatformClass::kFullyHomogeneous,
+                  PlatformClass::kCommHomogeneous,
+                  PlatformClass::kCompHomogeneous,
+                  PlatformClass::kFullyHeterogeneous};
+  grid.slave_counts = {5};
+  grid.arrivals = {ArrivalProcess::kPoisson, ArrivalProcess::kBursty};
+  grid.loads = {0.5, 0.9};
+  grid.jitters = {0.0};
+  grid.port_capacities = {1};
+  return grid;  // 4 x 2 x 2 = 16 cells
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msol;
+
+  const util::Cli cli(argc, argv);
+  const runner::ScenarioGrid grid = scaling_grid(cli);
+  const int repeat = static_cast<int>(cli.get_int("repeat", 1));
+
+  std::cout << "runner scaling: " << runner::cell_count(grid)
+            << " cells, " << grid.num_platforms << " platforms x "
+            << grid.num_tasks << " tasks per cell\n\n";
+
+  util::Table table({"threads", "wall[s]", "cells/s", "speedup"});
+  std::string reference_csv;
+  double t1 = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double best = -1.0;
+    std::string csv;
+    for (int r = 0; r < repeat; ++r) {
+      std::ostringstream out;
+      runner::CsvSink sink(out);
+      runner::RunnerOptions options;
+      options.threads = threads;
+      runner::ParallelRunner runner_(options);
+      const runner::RunReport report = runner_.run(grid, {&sink});
+      if (best < 0.0 || report.wall_seconds < best) best = report.wall_seconds;
+      csv = out.str();
+    }
+    if (threads == 1) {
+      t1 = best;
+      reference_csv = csv;
+    } else if (csv != reference_csv) {
+      std::cerr << "FATAL: output at " << threads
+                << " threads differs from single-threaded run\n";
+      return 1;
+    }
+    const double cells_per_sec =
+        best > 0.0 ? runner::cell_count(grid) / best : 0.0;
+    table.add_row({std::to_string(threads), util::fmt(best, 3),
+                   util::fmt(cells_per_sec, 1),
+                   util::fmt(best > 0.0 ? t1 / best : 0.0, 2)});
+  }
+  std::cout << (cli.has("csv") ? table.to_csv() : table.to_string());
+  return 0;
+}

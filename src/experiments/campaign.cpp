@@ -136,6 +136,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     r.norm_makespan = util::summarize(values.norm_makespan);
     r.norm_max_flow = util::summarize(values.norm_max_flow);
     r.norm_sum_flow = util::summarize(values.norm_sum_flow);
+    r.makespan_raw = values.makespan;
+    r.max_flow_raw = values.max_flow;
+    r.sum_flow_raw = values.sum_flow;
     result.algorithms.push_back(std::move(r));
   }
   return result;

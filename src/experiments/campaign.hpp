@@ -48,6 +48,12 @@ struct AlgorithmResult {
   util::Summary norm_makespan;  ///< value / SRPT's value, per platform
   util::Summary norm_max_flow;
   util::Summary norm_sum_flow;
+  /// Per-platform raw series behind the summaries, index-aligned with the
+  /// campaign's repetitions (entry r is platform r). Result sinks and
+  /// cross-campaign significance tests need the unaggregated values.
+  std::vector<double> makespan_raw;
+  std::vector<double> max_flow_raw;
+  std::vector<double> sum_flow_raw;
 };
 
 struct CampaignResult {

@@ -1,0 +1,122 @@
+#include "runner/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "experiments/campaign.hpp"
+
+namespace msol::runner {
+
+namespace {
+
+ResultRecord make_record(const ScenarioSpec& cell,
+                         const experiments::AlgorithmResult& algorithm) {
+  ResultRecord record;
+  record.cell_index = cell.index;
+  record.cell_id = cell.id;
+  record.cell_seed = cell.config.seed;
+  record.platform_class = cell.config.platform_class;
+  record.num_slaves = cell.config.num_slaves;
+  record.arrival = cell.config.arrival;
+  record.load = cell.config.load;
+  record.size_jitter = cell.config.size_jitter;
+  record.port_capacity = cell.config.port_capacity;
+  record.result = algorithm;
+  return record;
+}
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+RunReport ParallelRunner::run(const ScenarioGrid& grid,
+                              std::vector<ResultSink*> sinks) {
+  return run_cells(expand(grid), std::move(sinks));
+}
+
+RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
+                                    std::vector<ResultSink*> sinks) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t total = cells.size();
+
+  std::size_t threads = static_cast<std::size_t>(
+      options_.threads > 0 ? options_.threads
+                           : std::max(1u, std::thread::hardware_concurrency()));
+  threads = std::max<std::size_t>(1, std::min(threads, std::max<std::size_t>(
+                                                           total, 1)));
+
+  // Completed campaigns parked until every lower-indexed cell has been
+  // emitted; slot i is freed as soon as cell i's records reach the sinks,
+  // so peak memory is bounded by the completion skew, not the grid size.
+  std::vector<std::unique_ptr<experiments::CampaignResult>> pending(total);
+
+  std::atomic<std::size_t> next_cell{0};
+  std::atomic<bool> abort{false};
+  std::mutex emit_mutex;  // guards pending, next_emit, sinks, progress
+  std::size_t next_emit = 0;
+  std::size_t completed = 0;
+  std::size_t records = 0;
+  std::exception_ptr first_error;
+
+  const auto worker = [&]() {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next_cell.fetch_add(1);
+      if (i >= total) break;
+      try {
+        auto result = std::make_unique<experiments::CampaignResult>(
+            experiments::run_campaign(cells[i].config));
+
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        pending[i] = std::move(result);
+        ++completed;
+        // Flush the contiguous run of ready cells in index order; whichever
+        // worker completes the gap cell drains the backlog.
+        while (next_emit < total && pending[next_emit] != nullptr) {
+          for (const experiments::AlgorithmResult& algorithm :
+               pending[next_emit]->algorithms) {
+            const ResultRecord record =
+                make_record(cells[next_emit], algorithm);
+            for (ResultSink* sink : sinks) sink->consume(record);
+            ++records;
+          }
+          pending[next_emit].reset();
+          ++next_emit;
+        }
+        if (options_.progress) options_.progress(completed, total);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  for (ResultSink* sink : sinks) sink->close();
+
+  RunReport report;
+  report.cells = total;
+  report.records = records;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace msol::runner

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runner/result_sink.hpp"
+#include "runner/scenario.hpp"
+
+namespace msol::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 1;
+  /// Optional progress callback, invoked (under the emission lock, so calls
+  /// never interleave) after each cell completes: (completed, total).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Outcome of one grid run.
+struct RunReport {
+  std::size_t cells = 0;
+  std::size_t records = 0;  ///< (cell, algorithm) rows delivered to sinks
+  double wall_seconds = 0.0;
+};
+
+/// Executes every cell of a scenario grid on a pool of worker threads and
+/// streams ResultRecords to the given sinks.
+///
+/// Determinism contract: each cell's campaign seed is a pure function of
+/// (grid seed, cell index) — fixed at expansion, before any thread runs —
+/// and records are emitted in ascending cell order (campaign algorithm
+/// order within a cell), buffering out-of-order completions until their
+/// turn. Aggregate output is therefore bit-identical for any thread count
+/// and any completion interleaving.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerOptions options = {});
+
+  /// Expands and runs the grid. Sinks receive records from one thread at a
+  /// time, in deterministic order; close() is called on each sink at the
+  /// end. The first cell failure (e.g. schedule validation error) is
+  /// rethrown on the calling thread after the pool drains.
+  RunReport run(const ScenarioGrid& grid, std::vector<ResultSink*> sinks);
+
+  /// Runs pre-expanded cells (the grid-file path goes through run()).
+  RunReport run_cells(const std::vector<ScenarioSpec>& cells,
+                      std::vector<ResultSink*> sinks);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace msol::runner

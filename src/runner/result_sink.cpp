@@ -1,0 +1,192 @@
+#include "runner/result_sink.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace msol::runner {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+
+/// JSON has no literal for NaN/Infinity; emit null so every line stays
+/// parseable even if a degenerate campaign produces a non-finite metric.
+std::string json_number(double value) {
+  return std::isfinite(value) ? util::fmt_exact(value) : "null";
+}
+
+constexpr const char* kMetricNames[] = {"makespan",      "sum_flow",
+                                        "max_flow",      "norm_makespan",
+                                        "norm_sum_flow", "norm_max_flow"};
+
+/// The six summaries of an AlgorithmResult in the sinks' column order.
+const util::Summary* metric_summaries(const experiments::AlgorithmResult& r,
+                                      const util::Summary* out[6]) {
+  out[0] = &r.makespan;
+  out[1] = &r.sum_flow;
+  out[2] = &r.max_flow;
+  out[3] = &r.norm_makespan;
+  out[4] = &r.norm_sum_flow;
+  out[5] = &r.norm_max_flow;
+  return out[0];
+}
+
+void append_json_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- CSV ----
+
+CsvSink::CsvSink(std::ostream& out) : out_(out) {}
+
+std::string CsvSink::header() {
+  std::string h =
+      "cell_index,cell_id,cell_seed,platform_class,slaves,arrival,load,"
+      "jitter,port,algorithm,platforms";
+  for (const char* metric : kMetricNames) {
+    for (const char* stat :
+         {"mean", "stddev", "min", "max", "median", "ci95"}) {
+      h += ',';
+      h += metric;
+      h += '_';
+      h += stat;
+    }
+  }
+  return h;
+}
+
+std::string CsvSink::to_csv_row(const ResultRecord& record) {
+  std::string row;
+  row += std::to_string(record.cell_index);
+  row += ',' + csv_escape(record.cell_id);
+  row += ',' + std::to_string(record.cell_seed);
+  row += ',' + platform::to_string(record.platform_class);
+  row += ',' + std::to_string(record.num_slaves);
+  row += ',' + experiments::to_string(record.arrival);
+  row += ',' + util::fmt_exact(record.load);
+  row += ',' + util::fmt_exact(record.size_jitter);
+  row += ',' + std::to_string(record.port_capacity);
+  row += ',' + csv_escape(record.result.name);
+  row += ',' + std::to_string(record.result.makespan.count);
+  const util::Summary* summaries[6];
+  metric_summaries(record.result, summaries);
+  for (const util::Summary* s : summaries) {
+    row += ',' + util::fmt_exact(s->mean);
+    row += ',' + util::fmt_exact(s->stddev);
+    row += ',' + util::fmt_exact(s->min);
+    row += ',' + util::fmt_exact(s->max);
+    row += ',' + util::fmt_exact(s->median);
+    row += ',' + util::fmt_exact(s->ci95_half_width);
+  }
+  return row;
+}
+
+void CsvSink::consume(const ResultRecord& record) {
+  if (!wrote_header_) {
+    out_ << header() << '\n';
+    wrote_header_ = true;
+  }
+  out_ << to_csv_row(record) << '\n';
+}
+
+void CsvSink::close() {
+  if (!wrote_header_) {  // empty grid still yields a valid CSV
+    out_ << header() << '\n';
+    wrote_header_ = true;
+  }
+  out_.flush();
+}
+
+// ------------------------------------------------------------ JSON lines ----
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(out) {}
+
+std::string JsonLinesSink::to_json(const ResultRecord& record) {
+  std::string json = "{";
+  json += "\"cell_index\":" + std::to_string(record.cell_index);
+  json += ",\"cell_id\":\"" + json_escape(record.cell_id) + "\"";
+  json += ",\"cell_seed\":" + std::to_string(record.cell_seed);
+  json += ",\"platform_class\":\"" +
+          json_escape(platform::to_string(record.platform_class)) + "\"";
+  json += ",\"slaves\":" + std::to_string(record.num_slaves);
+  json += ",\"arrival\":\"" +
+          json_escape(experiments::to_string(record.arrival)) + "\"";
+  json += ",\"load\":" + json_number(record.load);
+  json += ",\"jitter\":" + json_number(record.size_jitter);
+  json += ",\"port\":" + std::to_string(record.port_capacity);
+  json += ",\"algorithm\":\"" + json_escape(record.result.name) + "\"";
+  json += ",\"platforms\":" + std::to_string(record.result.makespan.count);
+
+  const util::Summary* summaries[6];
+  metric_summaries(record.result, summaries);
+  for (int m = 0; m < 6; ++m) {
+    const util::Summary& s = *summaries[m];
+    json += ",\"";
+    json += kMetricNames[m];
+    json += "\":{\"mean\":" + json_number(s.mean);
+    json += ",\"stddev\":" + json_number(s.stddev);
+    json += ",\"min\":" + json_number(s.min);
+    json += ",\"max\":" + json_number(s.max);
+    json += ",\"median\":" + json_number(s.median);
+    json += ",\"ci95\":" + json_number(s.ci95_half_width);
+    json += "}";
+  }
+
+  json += ",\"makespan_raw\":";
+  append_json_array(json, record.result.makespan_raw);
+  json += ",\"sum_flow_raw\":";
+  append_json_array(json, record.result.sum_flow_raw);
+  json += ",\"max_flow_raw\":";
+  append_json_array(json, record.result.max_flow_raw);
+  json += "}";
+  return json;
+}
+
+void JsonLinesSink::consume(const ResultRecord& record) {
+  out_ << to_json(record) << '\n';
+}
+
+void JsonLinesSink::close() { out_.flush(); }
+
+// ---------------------------------------------------------------- memory ----
+
+void MemorySink::consume(const ResultRecord& record) {
+  records_.push_back(record);
+}
+
+}  // namespace msol::runner

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "runner/scenario.hpp"
+
+namespace msol::runner {
+
+/// One output row: a (cell, algorithm) pair with the cell's identity, the
+/// swept axis values that produced it, and the algorithm's full summaries.
+struct ResultRecord {
+  std::size_t cell_index = 0;
+  std::string cell_id;
+  std::uint64_t cell_seed = 0;
+  platform::PlatformClass platform_class =
+      platform::PlatformClass::kFullyHeterogeneous;
+  int num_slaves = 0;
+  experiments::ArrivalProcess arrival = experiments::ArrivalProcess::kPoisson;
+  double load = 0.0;
+  double size_jitter = 0.0;
+  int port_capacity = 0;
+  experiments::AlgorithmResult result;
+};
+
+/// Consumer of runner output. The ParallelRunner delivers records strictly
+/// in deterministic order — ascending cell index, algorithms in campaign
+/// order within a cell — and from one thread at a time, so implementations
+/// need no locking and their output is bit-identical for any thread count.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void consume(const ResultRecord& record) = 0;
+  /// Called once after the last record; flush buffers here.
+  virtual void close() {}
+};
+
+/// Writes one CSV row per record with a fixed header; numeric columns are
+/// printed with shortest-round-trip formatting so equal doubles always
+/// produce equal text.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out);
+  void consume(const ResultRecord& record) override;
+  void close() override;
+
+  static std::string header();
+  static std::string to_csv_row(const ResultRecord& record);
+
+ private:
+  std::ostream& out_;
+  bool wrote_header_ = false;
+};
+
+/// Writes one JSON object per line (JSON-lines). Raw per-platform series
+/// are included as arrays; summaries as nested objects.
+class JsonLinesSink : public ResultSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out);
+  void consume(const ResultRecord& record) override;
+  void close() override;
+
+  static std::string to_json(const ResultRecord& record);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Collects records in memory, in delivery (= deterministic) order.
+class MemorySink : public ResultSink {
+ public:
+  void consume(const ResultRecord& record) override;
+  const std::vector<ResultRecord>& records() const { return records_; }
+
+ private:
+  std::vector<ResultRecord> records_;
+};
+
+}  // namespace msol::runner

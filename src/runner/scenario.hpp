@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::runner {
+
+/// Declarative description of a campaign sweep: each axis lists the values
+/// it takes and the grid is their cartesian product, one CampaignConfig per
+/// cell. This is the file-format-facing struct — see parse_grid() for the
+/// `key = value[,value...]` text representation that `msol_run` and the
+/// examples load from disk.
+///
+/// Axis order (outermost to innermost) is fixed — class, slaves, arrival,
+/// load, jitter, port — so a grid expands to the same cell sequence
+/// everywhere: cell indices, and therefore the counter-derived per-cell
+/// seeds, are part of the format's contract.
+struct ScenarioGrid {
+  std::string name = "grid";
+  std::uint64_t seed = 2006;
+
+  // Shared by every cell (not swept).
+  int num_platforms = 10;
+  int num_tasks = 1000;
+  int lookahead = 1000;
+  std::vector<std::string> algorithms;  ///< empty = the paper's seven
+  platform::GeneratorRanges ranges;
+
+  // Swept axes; expand() takes their cartesian product.
+  std::vector<platform::PlatformClass> classes = {
+      platform::PlatformClass::kFullyHeterogeneous};
+  std::vector<int> slave_counts = {5};
+  std::vector<experiments::ArrivalProcess> arrivals = {
+      experiments::ArrivalProcess::kPoisson};
+  std::vector<double> loads = {0.9};
+  std::vector<double> jitters = {0.0};
+  std::vector<int> port_capacities = {1};
+};
+
+/// One concrete cell of an expanded grid: its position in expansion order,
+/// a stable human-readable id, and the fully-resolved campaign config whose
+/// seed was counter-derived from the grid seed (so it is a function of
+/// (grid seed, index) only — never of which thread ran the cell when).
+struct ScenarioSpec {
+  std::size_t index = 0;
+  std::string id;
+  experiments::CampaignConfig config;
+};
+
+/// Number of cells expand() will produce (product of axis sizes).
+std::size_t cell_count(const ScenarioGrid& grid);
+
+/// Expands the cartesian product into concrete cells, in the fixed axis
+/// order documented on ScenarioGrid. Throws std::invalid_argument if any
+/// axis is empty.
+std::vector<ScenarioSpec> expand(const ScenarioGrid& grid);
+
+/// Parses the grid text format:
+///
+///   # comment
+///   name = fig1
+///   seed = 2006
+///   platforms = 10
+///   tasks = 1000
+///   lookahead = 1000
+///   class = fully-homogeneous, fully-heterogeneous
+///   slaves = 5, 20
+///   arrival = poisson, bursty
+///   load = 0.5, 0.9
+///   jitter = 0, 0.1
+///   port = 1
+///   algorithms = SRPT, LS, RR
+///
+/// Unknown keys, unparsable values, and duplicate keys throw
+/// std::invalid_argument with the offending line. Omitted keys keep the
+/// ScenarioGrid defaults.
+ScenarioGrid parse_grid(const std::string& text);
+
+/// Reads and parses a grid file; throws std::runtime_error if unreadable.
+ScenarioGrid load_grid(const std::string& path);
+
+/// Serializes a grid to the text format parse_grid() accepts; the
+/// round-trip parse(serialize(g)) reproduces g exactly.
+std::string serialize_grid(const ScenarioGrid& grid);
+
+std::string to_string(const std::vector<std::string>& values);
+
+/// Parses the axis-value spellings used by the grid format ("poisson",
+/// "fully-heterogeneous", ...); shared with msol_run's --filter flags.
+platform::PlatformClass parse_platform_class(const std::string& token);
+experiments::ArrivalProcess parse_arrival(const std::string& token);
+
+}  // namespace msol::runner

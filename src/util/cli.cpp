@@ -4,7 +4,10 @@
 
 namespace msol::util {
 
-Cli::Cli(int argc, const char* const* argv) {
+Cli::Cli(int argc, const char* const* argv) : Cli(argc, argv, {}) {}
+
+Cli::Cli(int argc, const char* const* argv,
+         const std::set<std::string>& value_keys) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -13,10 +16,17 @@ Cli::Cli(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg] = "true";
-    } else {
+    if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (value_keys.count(arg) > 0) {
+      // A declared value key must get one: silently degrading "--csv
+      // --quiet" to a flag would send output to a file named "true".
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        throw std::invalid_argument("--" + arg + " expects a value");
+      }
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
     }
   }
 }

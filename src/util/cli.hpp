@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,14 @@ namespace msol::util {
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
+
+  /// As above, but keys named in `value_keys` may also take their value as
+  /// the following argument ("--threads 4" == "--threads=4"). Only listed
+  /// keys consume a successor, so bare flags and positionals keep working;
+  /// a listed key with no value throws std::invalid_argument rather than
+  /// degrading to a flag.
+  Cli(int argc, const char* const* argv,
+      const std::set<std::string>& value_keys);
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;

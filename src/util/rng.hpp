@@ -13,7 +13,17 @@ namespace msol::util {
 /// produce bit-identical campaigns on any platform.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// SplitMix64 finalizer (Vigna). Bijective on 64-bit words, scrambles
+  /// every input bit into every output bit; the standard way to turn
+  /// structured seeds (counters, small integers) into independent ones.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
 
   /// Uniform real in [lo, hi].
   double uniform(double lo, double hi) {
@@ -39,13 +49,33 @@ class Rng {
     return dist(engine_);
   }
 
-  /// Derive an independent child stream; used to give each repetition of a
-  /// campaign its own stream without correlating consecutive repetitions.
-  Rng fork() { return Rng(engine_()); }
+  /// Derive an independent child stream, advancing the parent; used to give
+  /// each repetition of a campaign its own stream. The raw engine output is
+  /// splitmix64-mixed before seeding the child: mt19937_64 seeded directly
+  /// with successive outputs of a sibling engine yields correlated streams
+  /// (the seeding procedure only tempers the single input word).
+  Rng fork() { return Rng(mix(engine_())); }
+
+  /// Counter-based child stream i, derived from this Rng's construction seed
+  /// only — independent of how much the parent (or any sibling) has been
+  /// used, so worker threads can fork cell i in any order and still get the
+  /// exact stream a sequential run would. Two mixing rounds separate the
+  /// (seed, i) pairs of nested grids.
+  Rng fork(std::uint64_t i) const { return Rng(child_seed(i)); }
+
+  /// The seed `fork(i)` constructs its child with; exposed so result records
+  /// can report the per-cell seed for standalone reproduction.
+  std::uint64_t child_seed(std::uint64_t i) const {
+    return mix(mix(seed_) + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+
+  /// The seed this Rng was constructed with (not the current engine state).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -99,6 +101,23 @@ std::string fmt(double value, int precision) {
   out.precision(precision);
   out << value;
   return out.str();
+}
+
+std::string fmt_exact(double value) {
+  if (!std::isfinite(value)) {  // "inf"/"-inf"/"nan"; never round-trips
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << value;
+    // strtod, not stod: stod throws out_of_range on subnormal input, and a
+    // tiny-but-valid metric value must not abort a whole run mid-output.
+    if (std::strtod(out.str().c_str(), nullptr) == value) return out.str();
+  }
+  return std::to_string(value);  // unreachable: precision 17 round-trips
 }
 
 }  // namespace msol::util

@@ -33,4 +33,10 @@ class Table {
 /// Formats a double with the given precision, trimming to fixed notation.
 std::string fmt(double value, int precision = 3);
 
+/// Shortest decimal spelling that parses back to exactly `value` — for
+/// machine-readable output (grid files, CSV/JSON sinks) where equal doubles
+/// must print as equal text and round-trip bit-identically, without every
+/// 0.9 ballooning to 0.90000000000000002.
+std::string fmt_exact(double value);
+
 }  // namespace msol::util

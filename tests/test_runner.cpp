@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/parallel_runner.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/scenario.hpp"
+
+namespace msol::runner {
+namespace {
+
+using experiments::ArrivalProcess;
+using platform::PlatformClass;
+
+/// 8-cell grid small enough that the full suite stays fast but wide enough
+/// to exercise every axis of the expansion.
+ScenarioGrid small_grid() {
+  ScenarioGrid grid;
+  grid.name = "test";
+  grid.seed = 7;
+  grid.num_platforms = 2;
+  grid.num_tasks = 40;
+  grid.lookahead = 40;
+  grid.algorithms = {"SRPT", "LS"};
+  grid.classes = {PlatformClass::kFullyHomogeneous,
+                  PlatformClass::kFullyHeterogeneous};
+  grid.slave_counts = {3};
+  grid.arrivals = {ArrivalProcess::kAllAtZero, ArrivalProcess::kPoisson};
+  grid.loads = {0.9};
+  grid.jitters = {0.0, 0.1};
+  grid.port_capacities = {1};
+  return grid;
+}
+
+// ------------------------------------------------------------ expansion ----
+
+TEST(ScenarioGrid, CellCountIsProductOfAxes) {
+  const ScenarioGrid grid = small_grid();
+  EXPECT_EQ(cell_count(grid), 8u);
+  EXPECT_EQ(expand(grid).size(), 8u);
+}
+
+TEST(ScenarioGrid, ExpansionOrderAndIndicesAreStable) {
+  const std::vector<ScenarioSpec> cells = expand(small_grid());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+  // Innermost axis (jitter here, port being singleton) varies fastest.
+  EXPECT_EQ(cells[0].config.size_jitter, 0.0);
+  EXPECT_EQ(cells[1].config.size_jitter, 0.1);
+  EXPECT_EQ(cells[0].config.platform_class, PlatformClass::kFullyHomogeneous);
+  EXPECT_EQ(cells.back().config.platform_class,
+            PlatformClass::kFullyHeterogeneous);
+}
+
+TEST(ScenarioGrid, CellSeedsAreDistinctAndReproducible) {
+  const std::vector<ScenarioSpec> a = expand(small_grid());
+  const std::vector<ScenarioSpec> b = expand(small_grid());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config.seed, b[i].config.seed);
+    seeds.insert(a[i].config.seed);
+  }
+  EXPECT_EQ(seeds.size(), a.size());
+}
+
+TEST(ScenarioGrid, EmptyAxisThrows) {
+  ScenarioGrid grid = small_grid();
+  grid.loads.clear();
+  EXPECT_THROW(expand(grid), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- parsing ----
+
+TEST(GridFormat, ParsesAllKeys) {
+  const ScenarioGrid grid = parse_grid(
+      "# comment\n"
+      "name = fig1\n"
+      "seed = 99\n"
+      "platforms = 3\n"
+      "tasks = 120\n"
+      "lookahead = 60\n"
+      "algorithms = SRPT, LS, RR\n"
+      "class = fully-homogeneous, comp-homogeneous\n"
+      "slaves = 4, 8\n"
+      "arrival = poisson, bursty  # trailing comment\n"
+      "load = 0.5, 0.9\n"
+      "jitter = 0, 0.1\n"
+      "port = 1, 0\n");
+  EXPECT_EQ(grid.name, "fig1");
+  EXPECT_EQ(grid.seed, 99u);
+  EXPECT_EQ(grid.num_platforms, 3);
+  EXPECT_EQ(grid.num_tasks, 120);
+  EXPECT_EQ(grid.lookahead, 60);
+  EXPECT_EQ(grid.algorithms, (std::vector<std::string>{"SRPT", "LS", "RR"}));
+  EXPECT_EQ(grid.classes.size(), 2u);
+  EXPECT_EQ(grid.slave_counts, (std::vector<int>{4, 8}));
+  EXPECT_EQ(grid.arrivals.size(), 2u);
+  EXPECT_EQ(grid.loads, (std::vector<double>{0.5, 0.9}));
+  EXPECT_EQ(grid.port_capacities, (std::vector<int>{1, 0}));
+  EXPECT_EQ(cell_count(grid), 64u);  // 2^6: every axis has two values
+}
+
+TEST(GridFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_grid("not a key value line\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("unknown_key = 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("load = fast\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("class = metal\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("arrival = never\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("seed = 1\nseed = 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("load =\n"), std::invalid_argument);
+}
+
+TEST(GridFormat, ParseExpandSerializeRoundTrip) {
+  const ScenarioGrid original = small_grid();
+  const std::string text = serialize_grid(original);
+  const ScenarioGrid reparsed = parse_grid(text);
+
+  EXPECT_EQ(serialize_grid(reparsed), text);
+
+  const std::vector<ScenarioSpec> a = expand(original);
+  const std::vector<ScenarioSpec> b = expand(reparsed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].config.seed, b[i].config.seed);
+    EXPECT_EQ(a[i].config.load, b[i].config.load);
+    EXPECT_EQ(a[i].config.size_jitter, b[i].config.size_jitter);
+    EXPECT_EQ(a[i].config.platform_class, b[i].config.platform_class);
+    EXPECT_EQ(a[i].config.arrival, b[i].config.arrival);
+  }
+}
+
+TEST(GridFormat, SeedRoundTripsFullUint64Range) {
+  ScenarioGrid grid = small_grid();
+  grid.seed = 10000000000000000000ULL;  // > 2^63: splitmix64 outputs land here
+  const ScenarioGrid reparsed = parse_grid(serialize_grid(grid));
+  EXPECT_EQ(reparsed.seed, grid.seed);
+}
+
+TEST(GridFormat, SerializeRejectsUnrepresentableNames) {
+  ScenarioGrid grid = small_grid();
+  grid.name = "fig #final";  // '#' starts a comment in the format
+  EXPECT_THROW(serialize_grid(grid), std::invalid_argument);
+  grid.name = "";
+  EXPECT_THROW(serialize_grid(grid), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- determinism ----
+
+std::string run_to_csv(const ScenarioGrid& grid, int threads) {
+  std::ostringstream out;
+  CsvSink csv(out);
+  RunnerOptions options;
+  options.threads = threads;
+  ParallelRunner runner(options);
+  runner.run(grid, {&csv});
+  return out.str();
+}
+
+TEST(ParallelRunner, CsvBitIdenticalAcrossThreadCounts) {
+  const ScenarioGrid grid = small_grid();
+  const std::string one = run_to_csv(grid, 1);
+  const std::string four = run_to_csv(grid, 4);
+  const std::string eight = run_to_csv(grid, 8);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+  EXPECT_FALSE(one.empty());
+}
+
+TEST(ParallelRunner, OneRecordPerCellAndAlgorithmInOrder) {
+  const ScenarioGrid grid = small_grid();
+  MemorySink memory;
+  RunnerOptions options;
+  options.threads = 4;
+  ParallelRunner runner(options);
+  const RunReport report = runner.run(grid, {&memory});
+
+  EXPECT_EQ(report.cells, 8u);
+  EXPECT_EQ(report.records, 16u);  // 8 cells x 2 algorithms
+  ASSERT_EQ(memory.records().size(), 16u);
+  for (std::size_t i = 0; i < memory.records().size(); ++i) {
+    const ResultRecord& record = memory.records()[i];
+    EXPECT_EQ(record.cell_index, i / 2);
+    EXPECT_EQ(record.result.name, i % 2 == 0 ? "SRPT" : "LS");
+    EXPECT_EQ(record.result.makespan.count, 2u);  // num_platforms
+    ASSERT_EQ(record.result.makespan_raw.size(), 2u);
+    EXPECT_GT(record.result.makespan_raw[0], 0.0);
+  }
+}
+
+TEST(ParallelRunner, ProgressReachesTotalAndErrorsPropagate) {
+  ScenarioGrid grid = small_grid();
+  std::size_t last_done = 0;
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    last_done = done;
+    EXPECT_EQ(total, 8u);
+  };
+  MemorySink memory;
+  ParallelRunner(options).run(grid, {&memory});
+  EXPECT_EQ(last_done, 8u);
+
+  grid.algorithms = {"NO-SUCH-ALGORITHM"};
+  EXPECT_THROW(ParallelRunner(options).run(grid, {&memory}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- sinks ----
+
+TEST(Sinks, CsvHasHeaderAndOneRowPerRecord) {
+  std::ostringstream out;
+  CsvSink csv(out);
+  ScenarioGrid grid = small_grid();
+  grid.classes = {PlatformClass::kFullyHomogeneous};
+  grid.jitters = {0.0};
+  ParallelRunner runner;
+  runner.run(grid, {&csv});  // 2 cells x 2 algorithms
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (count == 0) {
+      EXPECT_EQ(line.rfind("cell_index,cell_id,cell_seed", 0), 0u);
+    } else if (count % 2 == 1) {
+      EXPECT_NE(line.find(",SRPT,"), std::string::npos);
+    } else {
+      EXPECT_NE(line.find(",LS,"), std::string::npos);
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);  // header + 4 records
+}
+
+TEST(Sinks, JsonLinesLookLikeObjects) {
+  std::ostringstream out;
+  JsonLinesSink jsonl(out);
+  ScenarioGrid grid = small_grid();
+  grid.classes = {PlatformClass::kFullyHeterogeneous};
+  grid.arrivals = {ArrivalProcess::kPoisson};
+  grid.jitters = {0.1};
+  ParallelRunner runner;
+  runner.run(grid, {&jsonl});  // 1 cell x 2 algorithms
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"algorithm\":"), std::string::npos);
+    EXPECT_NE(line.find("\"makespan_raw\":["), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Sinks, EmptyGridStillWritesCsvHeader) {
+  std::ostringstream out;
+  CsvSink csv(out);
+  ParallelRunner runner;
+  const RunReport report = runner.run_cells({}, {&csv});
+  EXPECT_EQ(report.cells, 0u);
+  EXPECT_EQ(out.str(), CsvSink::header() + "\n");
+}
+
+}  // namespace
+}  // namespace msol::runner

@@ -69,6 +69,50 @@ TEST(Rng, ForkIsIndependentOfParentUsage) {
   }
 }
 
+TEST(Rng, SequentialForksDecorrelate) {
+  // Regression for the pre-splitmix fork(): children seeded with raw
+  // engine outputs. Siblings must not produce near-identical streams.
+  Rng parent(7);
+  Rng a = parent.fork();
+  Rng b = parent.fork();
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 9) == b.uniform_int(0, 9)) ++agree;
+  }
+  EXPECT_LT(agree, 30);  // ~10 expected for independent streams
+}
+
+TEST(Rng, CounterForkIgnoresParentState) {
+  // fork(i) depends only on (construction seed, i): a heavily-used parent
+  // and a fresh one hand out the exact same child stream, which is what
+  // lets the parallel runner seed cell i from any worker thread.
+  Rng used(123);
+  for (int i = 0; i < 50; ++i) used.uniform(0.0, 1.0);
+  (void)used.fork();
+  Rng fresh(123);
+  Rng a = used.fork(17);
+  Rng b = fresh.fork(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, CounterForkSeparatesSiblingsAndSeeds) {
+  Rng rng(5);
+  EXPECT_NE(rng.child_seed(0), rng.child_seed(1));
+  EXPECT_NE(Rng(5).child_seed(3), Rng(6).child_seed(3));
+  // Nested grids: child i of seed s must not collide with child i+1 of a
+  // neighbouring seed (the two-round mix breaks such lattice alignments).
+  EXPECT_NE(Rng(5).child_seed(1), Rng(6).child_seed(0));
+  Rng a = rng.fork(0);
+  Rng b = rng.fork(1);
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 9) == b.uniform_int(0, 9)) ++agree;
+  }
+  EXPECT_LT(agree, 30);
+}
+
 // -------------------------------------------------------------- stats ------
 
 TEST(Stats, SummaryOfKnownSample) {
@@ -152,6 +196,27 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_EQ(cli.get_int("n", 7), 7);
   EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
   EXPECT_EQ(cli.get("s", "dflt"), "dflt");
+}
+
+TEST(Cli, ValueKeysAcceptSeparatedValues) {
+  const char* argv[] = {"prog", "--threads", "4", "--csv", "out.csv",
+                        "--quiet", "grid.txt"};
+  Cli cli(7, argv, {"threads", "csv"});
+  EXPECT_EQ(cli.get_int("threads", 0), 4);
+  EXPECT_EQ(cli.get("csv", ""), "out.csv");
+  EXPECT_TRUE(cli.has("quiet"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "grid.txt");
+}
+
+TEST(Cli, ValueKeyWithoutValueThrows) {
+  const char* missing[] = {"prog", "--csv", "--quiet"};
+  EXPECT_THROW(Cli(3, missing, {"csv"}), std::invalid_argument);
+  const char* trailing[] = {"prog", "--csv"};
+  EXPECT_THROW(Cli(2, trailing, {"csv"}), std::invalid_argument);
+  const char* equals[] = {"prog", "--csv=x", "--quiet"};  // = form unaffected
+  Cli cli(3, equals, {"csv"});
+  EXPECT_EQ(cli.get("csv", ""), "x");
 }
 
 TEST(Cli, RejectsMalformedNumbers) {
