@@ -6,6 +6,8 @@
 
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
+#include "core/reference_engine.hpp"
+#include "experiments/campaign.hpp"
 #include "offline/deadline_solver.hpp"
 #include "offline/exhaustive.hpp"
 #include "platform/generator.hpp"
@@ -19,6 +21,14 @@ platform::Platform bench_platform(int m) {
   util::Rng rng(42);
   return platform::PlatformGenerator().generate(
       platform::PlatformClass::kFullyHeterogeneous, m, rng);
+}
+
+/// A streaming workload sized to the platform: poisson at 90% of the
+/// one-port capacity, the regime a production sweep actually runs in.
+core::Workload bench_workload(const platform::Platform& plat, int n) {
+  util::Rng rng(7);
+  const double rate = 0.9 * experiments::max_throughput(plat);
+  return core::Workload::poisson(n, rate, rng);
 }
 
 void BM_EngineListScheduling(benchmark::State& state) {
@@ -45,6 +55,76 @@ void BM_EngineSrptDeferHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineSrptDeferHeavy)->Arg(100)->Arg(1000);
+
+// --- event-calendar engine vs the pre-calendar reference -------------------
+// The PR's acceptance configuration: 64 slaves x 10k tasks, poisson at 90%
+// load. Identical platform, workload and policy on both engines; the only
+// variable is the decision-loop machinery (heap calendar + O(1) indexed
+// pending vs full scans + O(pending) find). Policy selects what is
+// measured: RR's O(1) decide isolates the engine event loop (the headline
+// number, >10x here), LS adds its per-decision placement probe (>2x), SRPT
+// is defer/wake-bound. items_per_second is tasks scheduled per wall second.
+
+template <bool kReference>
+void engine_compare(benchmark::State& state, const char* policy) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const platform::Platform plat = bench_platform(m);
+  const core::Workload work = bench_workload(plat, n);
+  const auto scheduler = algorithms::make_scheduler(policy);
+  for (auto _ : state) {
+    if (kReference) {
+      benchmark::DoNotOptimize(
+          core::simulate_reference(plat, work, *scheduler).makespan());
+    } else {
+      benchmark::DoNotOptimize(
+          core::simulate(plat, work, *scheduler).makespan());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_EngineCalendarRR(benchmark::State& state) {
+  engine_compare<false>(state, "RR");
+}
+void BM_EngineReferenceRR(benchmark::State& state) {
+  engine_compare<true>(state, "RR");
+}
+void BM_EngineCalendarLS(benchmark::State& state) {
+  engine_compare<false>(state, "LS");
+}
+void BM_EngineReferenceLS(benchmark::State& state) {
+  engine_compare<true>(state, "LS");
+}
+void BM_EngineCalendarSRPT(benchmark::State& state) {
+  engine_compare<false>(state, "SRPT");
+}
+void BM_EngineReferenceSRPT(benchmark::State& state) {
+  engine_compare<true>(state, "SRPT");
+}
+
+BENCHMARK(BM_EngineCalendarRR)
+    ->Args({8, 1000})
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineReferenceRR)
+    ->Args({8, 1000})
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCalendarLS)
+    ->Args({8, 1000})
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineReferenceLS)
+    ->Args({8, 1000})
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCalendarSRPT)
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineReferenceSRPT)
+    ->Args({64, 10000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SljfPlanner(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -2,18 +2,9 @@
 
 namespace msol::algorithms {
 
-core::Decision ListScheduling::decide(const core::OnePortEngine& engine) {
-  const core::TaskId task = engine.pending().front();
-  core::SlaveId best = 0;
-  core::Time best_completion = engine.completion_if_assigned(task, 0);
-  for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
-    const core::Time completion = engine.completion_if_assigned(task, j);
-    if (completion < best_completion - core::kTimeEps) {
-      best = j;
-      best_completion = completion;
-    }
-  }
-  return core::Assign{task, best};
+core::Decision ListScheduling::decide(const core::EngineView& engine) {
+  const core::TaskId task = engine.pending_front();
+  return core::Assign{task, engine.best_completion_slave(task)};
 }
 
 }  // namespace msol::algorithms

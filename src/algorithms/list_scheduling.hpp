@@ -1,6 +1,6 @@
 #pragma once
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 
 namespace msol::algorithms {
@@ -17,7 +17,7 @@ namespace msol::algorithms {
 class ListScheduling : public core::OnlineScheduler {
  public:
   std::string name() const override { return "LS"; }
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
 };
 
 }  // namespace msol::algorithms

@@ -2,7 +2,7 @@
 
 namespace msol::algorithms {
 
-core::Decision MinReady::decide(const core::OnePortEngine& engine) {
+core::Decision MinReady::decide(const core::EngineView& engine) {
   core::SlaveId best = 0;
   core::Time best_ready = engine.slave_ready_at(0);
   for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
@@ -12,7 +12,7 @@ core::Decision MinReady::decide(const core::OnePortEngine& engine) {
       best_ready = ready;
     }
   }
-  return core::Assign{engine.pending().front(), best};
+  return core::Assign{engine.pending_front(), best};
 }
 
 }  // namespace msol::algorithms

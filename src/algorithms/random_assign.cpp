@@ -2,10 +2,10 @@
 
 namespace msol::algorithms {
 
-core::Decision RandomAssign::decide(const core::OnePortEngine& engine) {
+core::Decision RandomAssign::decide(const core::EngineView& engine) {
   const core::SlaveId slave = static_cast<core::SlaveId>(
       rng_.uniform_int(0, engine.platform().size() - 1));
-  return core::Assign{engine.pending().front(), slave};
+  return core::Assign{engine.pending_front(), slave};
 }
 
 }  // namespace msol::algorithms

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -13,7 +13,7 @@ class RandomAssign : public core::OnlineScheduler {
   explicit RandomAssign(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
   std::string name() const override { return "RANDOM"; }
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override { rng_ = util::Rng(seed_); }
 
  private:

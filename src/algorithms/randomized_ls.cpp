@@ -12,8 +12,8 @@ RandomizedLs::RandomizedLs(double theta, std::uint64_t seed)
   }
 }
 
-core::Decision RandomizedLs::decide(const core::OnePortEngine& engine) {
-  const core::TaskId task = engine.pending().front();
+core::Decision RandomizedLs::decide(const core::EngineView& engine) {
+  const core::TaskId task = engine.pending_front();
   const int m = engine.platform().size();
 
   std::vector<core::Time> completion(static_cast<std::size_t>(m));

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -20,7 +20,7 @@ class RandomizedLs : public core::OnlineScheduler {
   RandomizedLs(double theta, std::uint64_t seed);
 
   std::string name() const override { return "RLS"; }
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override { rng_ = util::Rng(seed_); }
 
  private:

@@ -7,11 +7,11 @@ namespace msol::algorithms {
 Replay::Replay(std::vector<core::SlaveId> assignment)
     : assignment_(std::move(assignment)) {}
 
-core::Decision Replay::decide(const core::OnePortEngine& engine) {
+core::Decision Replay::decide(const core::EngineView& engine) {
   if (next_ >= assignment_.size()) {
     throw std::logic_error("Replay: more tasks than planned assignments");
   }
-  return core::Assign{engine.pending().front(), assignment_[next_++]};
+  return core::Assign{engine.pending_front(), assignment_[next_++]};
 }
 
 }  // namespace msol::algorithms

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 
 namespace msol::algorithms {
@@ -16,7 +16,7 @@ class Replay : public core::OnlineScheduler {
   explicit Replay(std::vector<core::SlaveId> assignment);
 
   std::string name() const override { return "Replay"; }
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override { next_ = 0; }
 
  private:

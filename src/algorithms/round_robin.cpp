@@ -18,7 +18,7 @@ void RoundRobin::reset() {
   next_ = 0;
 }
 
-core::Decision RoundRobin::decide(const core::OnePortEngine& engine) {
+core::Decision RoundRobin::decide(const core::EngineView& engine) {
   if (cycle_.empty()) {
     switch (order_) {
       case RoundRobinOrder::kCommPlusComp:
@@ -34,7 +34,7 @@ core::Decision RoundRobin::decide(const core::OnePortEngine& engine) {
   }
   const core::SlaveId slave = cycle_[next_ % cycle_.size()];
   ++next_;
-  return core::Assign{engine.pending().front(), slave};
+  return core::Assign{engine.pending_front(), slave};
 }
 
 }  // namespace msol::algorithms

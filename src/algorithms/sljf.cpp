@@ -21,7 +21,7 @@ void SljfBase::reset() {
   sent_ = 0;
 }
 
-core::Decision SljfBase::decide(const core::OnePortEngine& engine) {
+core::Decision SljfBase::decide(const core::EngineView& engine) {
   if (!planned_) {
     planned_ = true;
     if (lookahead_ > 0) {
@@ -38,7 +38,7 @@ core::Decision SljfBase::decide(const core::OnePortEngine& engine) {
     }
   }
 
-  const core::TaskId task = engine.pending().front();
+  const core::TaskId task = engine.pending_front();
   if (sent_ < plan_.size()) {
     const core::SlaveId slave = plan_[sent_];
     ++sent_;
@@ -47,16 +47,7 @@ core::Decision SljfBase::decide(const core::OnePortEngine& engine) {
 
   // Tail: list-scheduling fallback.
   ++sent_;
-  core::SlaveId best = 0;
-  core::Time best_completion = engine.completion_if_assigned(task, 0);
-  for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
-    const core::Time completion = engine.completion_if_assigned(task, j);
-    if (completion < best_completion - core::kTimeEps) {
-      best = j;
-      best_completion = completion;
-    }
-  }
-  return core::Assign{task, best};
+  return core::Assign{task, engine.best_completion_slave(task)};
 }
 
 }  // namespace msol::algorithms

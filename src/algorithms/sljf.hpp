@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 
 namespace msol::algorithms {
@@ -25,7 +25,7 @@ class SljfBase : public core::OnlineScheduler {
   explicit SljfBase(int lookahead, bool comm_aware);
 
   std::string name() const override;
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override;
 
  private:

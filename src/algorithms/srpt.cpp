@@ -2,7 +2,7 @@
 
 namespace msol::algorithms {
 
-core::Decision Srpt::decide(const core::OnePortEngine& engine) {
+core::Decision Srpt::decide(const core::EngineView& engine) {
   const platform::Platform& platform = engine.platform();
   core::SlaveId best = -1;
   for (core::SlaveId j = 0; j < platform.size(); ++j) {
@@ -14,7 +14,7 @@ core::Decision Srpt::decide(const core::OnePortEngine& engine) {
     }
   }
   if (best < 0) return core::Defer{};  // wait for the first slave to finish
-  return core::Assign{engine.pending().front(), best};
+  return core::Assign{engine.pending_front(), best};
 }
 
 }  // namespace msol::algorithms

@@ -16,13 +16,13 @@ std::string ThrottledLs::name() const {
 
 void ThrottledLs::reset() {}
 
-int ThrottledLs::in_system(const core::OnePortEngine& engine,
+int ThrottledLs::in_system(const core::EngineView& engine,
                            core::SlaveId j) const {
   return engine.tasks_in_system(j);
 }
 
-core::Decision ThrottledLs::decide(const core::OnePortEngine& engine) {
-  const core::TaskId task = engine.pending().front();
+core::Decision ThrottledLs::decide(const core::EngineView& engine) {
+  const core::TaskId task = engine.pending_front();
   core::SlaveId best = -1;
   core::Time best_completion = 0.0;
   for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 
 namespace msol::algorithms {
@@ -23,13 +23,13 @@ class ThrottledLs : public core::OnlineScheduler {
   explicit ThrottledLs(int max_queue);
 
   std::string name() const override;
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override;
 
  private:
   /// Uncompleted tasks currently committed to slave j (received or in
   /// flight), derived from the engine's committed schedule at now().
-  int in_system(const core::OnePortEngine& engine, core::SlaveId j) const;
+  int in_system(const core::EngineView& engine, core::SlaveId j) const;
 
   int max_queue_;
 };

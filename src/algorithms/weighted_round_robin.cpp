@@ -28,7 +28,7 @@ void WeightedRoundRobin::reset() {
   credit_.clear();
 }
 
-core::Decision WeightedRoundRobin::decide(const core::OnePortEngine& engine) {
+core::Decision WeightedRoundRobin::decide(const core::EngineView& engine) {
   if (share_.empty()) {
     share_ = shares(engine.platform());
     const double total = std::accumulate(share_.begin(), share_.end(), 0.0);
@@ -45,7 +45,7 @@ core::Decision WeightedRoundRobin::decide(const core::OnePortEngine& engine) {
     }
   }
   credit_[static_cast<std::size_t>(best)] -= 1.0;
-  return core::Assign{engine.pending().front(), best};
+  return core::Assign{engine.pending_front(), best};
 }
 
 }  // namespace msol::algorithms

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "core/engine.hpp"
+#include "core/engine_view.hpp"
 #include "core/scheduler.hpp"
 
 namespace msol::algorithms {
@@ -23,7 +23,7 @@ namespace msol::algorithms {
 class WeightedRoundRobin : public core::OnlineScheduler {
  public:
   std::string name() const override { return "WRR"; }
-  core::Decision decide(const core::OnePortEngine& engine) override;
+  core::Decision decide(const core::EngineView& engine) override;
   void reset() override;
 
   /// The LP shares (tasks/s per slave) for a platform; exposed for tests

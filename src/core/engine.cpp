@@ -9,8 +9,10 @@ double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
                           SlaveId slave, Time comp_start) {
   double factor = 1.0;
   for (const SlowdownWindow& w : windows) {
+    // Symmetric edge tolerance: eps forgives noise at the closed begin
+    // boundary; the open end boundary is exact (see the header note).
     if (w.slave == slave && comp_start >= w.begin - kTimeEps &&
-        comp_start < w.end - kTimeEps) {
+        comp_start < w.end) {
       factor *= w.factor;
     }
   }
@@ -18,17 +20,50 @@ double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
 }
 
 OnePortEngine::OnePortEngine(platform::Platform platform,
-                             OnlineScheduler& scheduler, EngineOptions options)
-    : platform_(std::move(platform)), scheduler_(scheduler), options_(options) {
-  if (options_.port_capacity < 0) {
+                             OnlineScheduler& scheduler,
+                             EngineOptions options) {
+  reset(std::move(platform), scheduler, std::move(options));
+}
+
+void OnePortEngine::reset(platform::Platform platform,
+                          OnlineScheduler& scheduler, EngineOptions options) {
+  if (options.port_capacity < 0) {
     throw std::invalid_argument("OnePortEngine: negative port capacity");
   }
+  platform_.emplace(std::move(platform));
+  scheduler_ = &scheduler;
+  options_ = std::move(options);
+
+  now_ = 0.0;
+  tasks_.clear();
+  release_order_.clear();
+  next_release_idx_ = 0;
+  pending_next_.clear();
+  pending_prev_.clear();
+  in_pending_.clear();
+  pending_head_ = pending_tail_ = -1;
+  pending_count_ = 0;
+  port_busy_until_.clear();
   if (options_.port_capacity > 0) {
     port_busy_until_.assign(static_cast<std::size_t>(options_.port_capacity),
                             0.0);
   }
-  slave_ready_.assign(static_cast<std::size_t>(platform_.size()), 0.0);
-  slave_comp_ends_.assign(static_cast<std::size_t>(platform_.size()), {});
+  const std::size_t m = static_cast<std::size_t>(platform_->size());
+  slave_ready_.assign(m, 0.0);
+  slave_comp_ends_.resize(m);
+  for (std::vector<Time>& ends : slave_comp_ends_) ends.clear();
+  committed_ = 0;
+  events_.clear();
+  wake_gen_ = 0;
+  schedule_.clear();
+  trace_.clear();
+}
+
+void OnePortEngine::require_bound() const {
+  if (scheduler_ == nullptr) {
+    throw std::logic_error(
+        "OnePortEngine: used before reset() bound a platform and scheduler");
+  }
 }
 
 void OnePortEngine::load(const Workload& workload) {
@@ -36,6 +71,7 @@ void OnePortEngine::load(const Workload& workload) {
 }
 
 TaskId OnePortEngine::inject_task(TaskSpec spec) {
+  require_bound();
   if (spec.release < now_ - kTimeEps) {
     throw std::invalid_argument(
         "OnePortEngine: cannot inject a task released in the past");
@@ -43,6 +79,9 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
   spec.release = std::max(spec.release, now_);
   const TaskId id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(TaskState{spec, /*released=*/false, /*committed=*/false, -1});
+  pending_next_.push_back(-1);
+  pending_prev_.push_back(-1);
+  in_pending_.push_back(0);
 
   // Keep the unprocessed suffix of release_order_ sorted by release time;
   // equal releases keep injection order so adversary task numbering is stable.
@@ -57,6 +96,39 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
   return id;
 }
 
+void OnePortEngine::pending_push_back(TaskId id) {
+  const std::size_t i = static_cast<std::size_t>(id);
+  pending_prev_[i] = pending_tail_;
+  pending_next_[i] = -1;
+  if (pending_tail_ >= 0) {
+    pending_next_[static_cast<std::size_t>(pending_tail_)] = id;
+  } else {
+    pending_head_ = id;
+  }
+  pending_tail_ = id;
+  in_pending_[i] = 1;
+  ++pending_count_;
+}
+
+void OnePortEngine::pending_erase(TaskId id) {
+  const std::size_t i = static_cast<std::size_t>(id);
+  const TaskId prev = pending_prev_[i];
+  const TaskId next = pending_next_[i];
+  if (prev >= 0) {
+    pending_next_[static_cast<std::size_t>(prev)] = next;
+  } else {
+    pending_head_ = next;
+  }
+  if (next >= 0) {
+    pending_prev_[static_cast<std::size_t>(next)] = prev;
+  } else {
+    pending_tail_ = prev;
+  }
+  pending_next_[i] = pending_prev_[i] = -1;
+  in_pending_[i] = 0;
+  --pending_count_;
+}
+
 void OnePortEngine::process_releases() {
   while (next_release_idx_ < release_order_.size()) {
     const TaskId id = release_order_[next_release_idx_];
@@ -64,18 +136,18 @@ void OnePortEngine::process_releases() {
     if (task.spec.release > now_ + kTimeEps) break;
     ++next_release_idx_;
     task.released = true;
-    pending_.push_back(id);
+    pending_push_back(id);
     if (options_.enable_trace) {
       trace_.record(TraceEvent{TraceEvent::Kind::kRelease, task.spec.release,
                                id, -1, 0.0});
     }
-    scheduler_.on_task_released(*this, id);
+    scheduler_->on_task_released(*this, id);
   }
 }
 
 bool OnePortEngine::try_decide() {
-  if (pending_.empty() || !port_free_now()) return false;
-  const Decision decision = scheduler_.decide(*this);
+  if (pending_count_ == 0 || !port_free_now()) return false;
+  const Decision decision = scheduler_->decide(*this);
   if (std::holds_alternative<Defer>(decision)) {
     if (options_.enable_trace) {
       trace_.record(TraceEvent{TraceEvent::Kind::kDefer, now_, -1, -1, 0.0});
@@ -87,25 +159,27 @@ bool OnePortEngine::try_decide() {
       trace_.record(TraceEvent{TraceEvent::Kind::kWaitUntil, now_, -1, -1,
                                wait->time});
     }
-    if (wait->time > now_ + kTimeEps) scheduler_wake_ = wait->time;
+    if (wait->time > now_ + kTimeEps) {
+      events_.push(wait->time, EventKind::kSchedulerWake, ++wake_gen_);
+    }
     return false;
   }
   const Assign assign = std::get<Assign>(decision);
-  scheduler_wake_.reset();
+  ++wake_gen_;  // an assignment cancels any outstanding WaitUntil request
   commit(assign.task, assign.slave);
   return true;
 }
 
 void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
-  if (slave < 0 || slave >= platform_.size()) {
+  if (slave < 0 || slave >= platform_->size()) {
     throw std::logic_error("OnePortEngine: scheduler chose an invalid slave");
   }
-  const auto it = std::find(pending_.begin(), pending_.end(), task_id);
-  if (it == pending_.end()) {
+  if (task_id < 0 || task_id >= total_tasks() ||
+      !in_pending_[static_cast<std::size_t>(task_id)]) {
     throw std::logic_error(
         "OnePortEngine: scheduler chose a task that is not pending");
   }
-  pending_.erase(it);
+  pending_erase(task_id);
 
   TaskState& task = tasks_[static_cast<std::size_t>(task_id)];
   task.committed = true;
@@ -118,15 +192,16 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
   rec.release = task.spec.release;
   rec.send_start = now_;
   rec.send_end =
-      now_ + platform_.comm(slave) * task.spec.comm_factor;
+      now_ + platform_->comm(slave) * task.spec.comm_factor;
   rec.comp_start = std::max(rec.send_end,
                             slave_ready_[static_cast<std::size_t>(slave)]);
   rec.comp_end = rec.comp_start +
-                 platform_.comp(slave) * task.spec.comp_factor *
+                 platform_->comp(slave) * task.spec.comp_factor *
                      slowdown_factor_at(options_.slowdowns, slave,
                                         rec.comp_start);
   slave_ready_[static_cast<std::size_t>(slave)] = rec.comp_end;
   slave_comp_ends_[static_cast<std::size_t>(slave)].push_back(rec.comp_end);
+  events_.push(rec.comp_end, EventKind::kCompletion);
 
   if (!port_busy_until_.empty()) {
     auto port = std::min_element(port_busy_until_.begin(),
@@ -147,30 +222,43 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
   schedule_.add(rec);
 }
 
-std::optional<Time> OnePortEngine::next_wakeup() const {
+std::optional<Time> OnePortEngine::next_wakeup() {
   std::optional<Time> best;
   auto consider = [&](Time t) {
     if (t > now_ + kTimeEps && (!best || t < *best)) best = t;
   };
+  // Releases already sit in a sorted calendar (release_order_ plus a
+  // cursor), and a port's busy-until is a tiny array bounded by the port
+  // capacity — both are O(1)-ish to consult directly, so pushing them
+  // through the heap would only add traffic. The heap carries what the
+  // reference engine has to *scan* for: the per-slave completion instants
+  // (its O(slaves * log tasks) inner loop) and WaitUntil wake-ups.
   if (next_release_idx_ < release_order_.size()) {
     const TaskId id = release_order_[next_release_idx_];
     consider(tasks_[static_cast<std::size_t>(id)].spec.release);
   }
-  if (scheduler_wake_) consider(*scheduler_wake_);
   for (Time t : port_busy_until_) consider(t);
-  for (Time t : slave_ready_) consider(t);
-  // Intermediate completions (a queue draining below a threshold) can also
-  // unblock a deferring scheduler; comp ends are monotone per slave, so the
-  // first one past now() is found by binary search.
-  for (const std::vector<Time>& ends : slave_comp_ends_) {
-    const auto it = std::upper_bound(ends.begin(), ends.end(),
-                                     now_ + kTimeEps);
-    if (it != ends.end()) consider(*it);
+  // Lazy pruning: an entry at or before now() can never matter again (time
+  // only moves forward), and a wake entry whose generation was superseded
+  // by a newer request or an assignment is dead no matter its time. Every
+  // surviving entry is a *current* fact — a committed completion, or the
+  // live WaitUntil — so the heap minimum equals the minimum the reference
+  // engine derives from its completion-list scans.
+  while (!events_.empty()) {
+    const Event& top = events_.top();
+    if (top.time <= now_ + kTimeEps ||
+        (top.kind == EventKind::kSchedulerWake && top.gen != wake_gen_)) {
+      events_.pop();
+      continue;
+    }
+    consider(top.time);
+    break;
   }
   return best;
 }
 
 void OnePortEngine::run_until(Time t) {
+  require_bound();
   if (t < now_ - kTimeEps) {
     throw std::invalid_argument("OnePortEngine: run_until into the past");
   }
@@ -188,6 +276,7 @@ void OnePortEngine::run_until(Time t) {
 }
 
 void OnePortEngine::run_to_completion() {
+  require_bound();
   for (;;) {
     process_releases();
     if (try_decide()) continue;
@@ -195,12 +284,18 @@ void OnePortEngine::run_to_completion() {
     if (!wake) break;
     now_ = *wake;
   }
-  if (!pending_.empty() || next_release_idx_ < release_order_.size()) {
+  if (pending_count_ != 0 || next_release_idx_ < release_order_.size()) {
     throw std::logic_error(
-        "OnePortEngine: scheduler '" + scheduler_.name() +
+        "OnePortEngine: scheduler '" + scheduler_->name() +
         "' deferred forever with tasks pending (deadlock)");
   }
   now_ = std::max(now_, schedule_.makespan());
+}
+
+Schedule OnePortEngine::take_schedule() {
+  Schedule out = std::move(schedule_);
+  schedule_.clear();
+  return out;
 }
 
 Time OnePortEngine::port_free_at() const {
@@ -210,28 +305,37 @@ Time OnePortEngine::port_free_at() const {
   return std::max(now_, earliest);
 }
 
-bool OnePortEngine::port_free_now() const {
-  return port_free_at() <= now_ + kTimeEps;
-}
-
 Time OnePortEngine::slave_ready_at(SlaveId j) const {
-  if (j < 0 || j >= platform_.size()) {
+  if (j < 0 || j >= platform_->size()) {
     throw std::out_of_range("OnePortEngine: slave id out of range");
   }
   return std::max(now_, slave_ready_[static_cast<std::size_t>(j)]);
 }
 
-bool OnePortEngine::slave_free_now(SlaveId j) const {
-  return slave_ready_at(j) <= now_ + kTimeEps;
-}
-
 int OnePortEngine::tasks_in_system(SlaveId j) const {
-  if (j < 0 || j >= platform_.size()) {
+  if (j < 0 || j >= platform_->size()) {
     throw std::out_of_range("OnePortEngine: slave id out of range");
   }
   const std::vector<Time>& ends = slave_comp_ends_[static_cast<std::size_t>(j)];
   const auto it = std::upper_bound(ends.begin(), ends.end(), now_ + kTimeEps);
   return static_cast<int>(ends.end() - it);
+}
+
+TaskId OnePortEngine::pending_front() const {
+  if (pending_head_ < 0) {
+    throw std::logic_error("OnePortEngine: no pending task");
+  }
+  return pending_head_;
+}
+
+std::vector<TaskId> OnePortEngine::pending_tasks() const {
+  std::vector<TaskId> out;
+  out.reserve(static_cast<std::size_t>(pending_count_));
+  for (TaskId id = pending_head_; id >= 0;
+       id = pending_next_[static_cast<std::size_t>(id)]) {
+    out.push_back(id);
+  }
+  return out;
 }
 
 const TaskSpec& OnePortEngine::task_spec(TaskId i) const {
@@ -248,27 +352,66 @@ std::optional<SlaveId> OnePortEngine::assignment_of(TaskId task) const {
   return state.slave;
 }
 
-bool OnePortEngine::send_started(TaskId task) const {
-  return assignment_of(task).has_value();
-}
-
 Time OnePortEngine::completion_if_assigned(TaskId task, SlaveId j) const {
   // Deliberately uses the *nominal* p_j: schedulers estimate with the
   // calibrated platform and are blind to injected background load.
   const TaskSpec& spec = task_spec(task);
   const Time send_start = std::max({now_, port_free_at(), spec.release});
-  const Time send_end = send_start + platform_.comm(j) * spec.comm_factor;
+  const Time send_end = send_start + platform_->comm(j) * spec.comm_factor;
   const Time comp_start = std::max(send_end, slave_ready_at(j));
-  return comp_start + platform_.comp(j) * spec.comp_factor;
+  return comp_start + platform_->comp(j) * spec.comp_factor;
+}
+
+SlaveId OnePortEngine::best_completion_slave(TaskId task) const {
+  // Same arithmetic and tie-break as the EngineView default, with the
+  // loop-invariant send-start hoisted and the per-slave virtual probes
+  // flattened into direct state access. test_engine_diff keeps this honest
+  // against the default implementation running on ReferenceEngine.
+  const TaskSpec& spec = task_spec(task);
+  const Time send_start = std::max({now_, port_free_at(), spec.release});
+  const platform::Platform& plat = *platform_;
+  SlaveId best = 0;
+  Time best_completion = 0.0;
+  for (SlaveId j = 0; j < plat.size(); ++j) {
+    const Time send_end = send_start + plat.comm(j) * spec.comm_factor;
+    const Time comp_start =
+        std::max(send_end,
+                 std::max(now_, slave_ready_[static_cast<std::size_t>(j)]));
+    const Time completion = comp_start + plat.comp(j) * spec.comp_factor;
+    if (j == 0 || completion < best_completion - kTimeEps) {
+      best = j;
+      best_completion = completion;
+    }
+  }
+  return best;
 }
 
 Schedule simulate(const platform::Platform& platform, const Workload& workload,
                   OnlineScheduler& scheduler, EngineOptions options) {
+  // One engine per thread, reused across calls: a grid sweep calls
+  // simulate() once per (cell, platform, algorithm) and previously paid a
+  // full allocation of every internal vector each time. The guard covers
+  // the (currently hypothetical) case of a scheduler whose decide() calls
+  // simulate() recursively.
+  thread_local OnePortEngine reusable;
+  thread_local bool engine_in_use = false;
+
   scheduler.reset();
-  OnePortEngine engine(platform, scheduler, options);
-  engine.load(workload);
-  engine.run_to_completion();
-  return engine.schedule();
+  if (engine_in_use) {
+    OnePortEngine engine(platform, scheduler, std::move(options));
+    engine.load(workload);
+    engine.run_to_completion();
+    return engine.take_schedule();
+  }
+  engine_in_use = true;
+  struct Release {
+    bool* flag;
+    ~Release() { *flag = false; }
+  } release_guard{&engine_in_use};
+  reusable.reset(platform, scheduler, std::move(options));
+  reusable.load(workload);
+  reusable.run_to_completion();
+  return reusable.take_schedule();
 }
 
 }  // namespace msol::core

@@ -1,10 +1,12 @@
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <vector>
 
+#include "core/engine_view.hpp"
+#include "core/event_queue.hpp"
 #include "core/schedule.hpp"
 #include "core/scheduler.hpp"
 #include "core/trace.hpp"
@@ -27,6 +29,14 @@ struct SlowdownWindow {
 
 /// Multiplicative slowdown applying to a compute that starts at
 /// `comp_start` on `slave` (overlapping windows compound).
+///
+/// Window-edge tolerance is symmetric: the closed `begin` boundary forgives
+/// floating-point noise outward (comp_start >= begin - eps is inside), and
+/// the open `end` boundary is exact (comp_start < end is inside, comp_start
+/// == end is not). The previous `comp_start < end - eps` form shifted the
+/// whole window left by eps, silently dropping computes that start within
+/// eps *inside* the window's final sliver while admitting ones the same
+/// distance *outside* its start.
 double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
                           SlaveId slave, Time comp_start);
 
@@ -54,16 +64,43 @@ struct EngineOptions {
 ///  * the scheduler is consulted whenever a port is free and a released task
 ///    is pending, and may Defer (leave the master idle until the next event).
 ///
+/// Decision instants come from an event calendar: slave completions and
+/// WaitUntil wake-ups are pushed into a binary min-heap (EventQueue) when
+/// they become known and consumed lazily, while releases keep their sorted
+/// cursor and port frees their capacity-bounded array. Advancing time thus
+/// costs O(log events) instead of the O(slaves * log tasks) scan the
+/// pre-calendar engine (retained verbatim as ReferenceEngine) performs at
+/// every step. The pending set is an intrusive doubly-linked list indexed
+/// by task id, making commit() O(1) where the reference engine pays an
+/// O(pending) find + erase. tests/test_engine_diff.cpp proves the two
+/// engines produce bit-identical schedules and traces.
+///
+/// The engine is reusable: reset() rebinds platform/scheduler/options while
+/// keeping every internal allocation, so grid sweeps that simulate millions
+/// of tasks stop paying per-cell vector growth (simulate() below reuses one
+/// engine per thread).
+///
 /// Adversary support: run_until(t) advances the simulation so that every
 /// decision instant strictly before t has been resolved, then parks the
 /// clock at t *without* letting the master act at exactly t. An adversary
 /// may then observe the committed prefix and inject_task() new releases; the
 /// next run call resumes decisions at t with the new information. This is
 /// exactly the probe discipline of the paper's lower-bound proofs.
-class OnePortEngine {
+class OnePortEngine final : public EngineView {
  public:
+  /// Inert engine; call reset() before any other member.
+  OnePortEngine() = default;
+
   OnePortEngine(platform::Platform platform, OnlineScheduler& scheduler,
                 EngineOptions options = {});
+
+  /// Rebinds the engine to a fresh (platform, scheduler, options) triple and
+  /// clears all simulation state while retaining internal capacity. A reset
+  /// engine is indistinguishable from a newly constructed one (the
+  /// differential fuzz suite runs reused-vs-fresh shards to keep it that
+  /// way).
+  void reset(platform::Platform platform, OnlineScheduler& scheduler,
+             EngineOptions options = {});
 
   /// Loads a whole workload up front (releases may be in the future;
   /// the scheduler still only sees tasks once released).
@@ -81,50 +118,28 @@ class OnePortEngine {
   /// defers forever (deadlock).
   void run_to_completion();
 
-  /// --- Observable state (the scheduler/adversary view) -------------------
+  /// Moves the committed schedule out (avoids the copy schedule() implies);
+  /// the engine's schedule is empty afterwards until the next reset/run.
+  Schedule take_schedule();
 
-  Time now() const { return now_; }
-  const platform::Platform& platform() const { return platform_; }
+  /// --- EngineView (the scheduler/adversary observables) -------------------
 
-  /// Earliest time a master port is (or becomes) free, >= now().
-  Time port_free_at() const;
-  /// True if an unused port exists right now.
-  bool port_free_now() const;
-
-  /// Time slave j finishes everything committed to it so far (its
-  /// "ready-time" in the paper's terminology); == now() when idle.
-  Time slave_ready_at(SlaveId j) const;
-  /// True if slave j has no committed work beyond now().
-  bool slave_free_now(SlaveId j) const;
-  /// Committed-but-uncompleted tasks on slave j at now() (in flight on the
-  /// link, waiting in the slave's queue, or computing). Queue-depth-aware
-  /// policies (e.g. ThrottledLs) throttle on this.
-  int tasks_in_system(SlaveId j) const;
-
-  /// Released, unassigned task ids in FIFO release order.
-  const std::deque<TaskId>& pending() const { return pending_; }
-  int pending_count() const { return static_cast<int>(pending_.size()); }
-
-  int total_tasks() const { return static_cast<int>(tasks_.size()); }
-  int completed_or_committed() const { return committed_; }
-  const TaskSpec& task_spec(TaskId i) const;
-
-  /// Slave the task was committed to, or nullopt if still unassigned.
-  std::optional<SlaveId> assignment_of(TaskId task) const;
-  /// True once the send for `task` has begun (commitment implies the send
-  /// starts immediately in this engine).
-  bool send_started(TaskId task) const;
-
-  /// Estimated completion time of a *hypothetical* commitment of `task` to
-  /// slave j made at time now(): the quantity list scheduling minimizes.
-  Time completion_if_assigned(TaskId task, SlaveId j) const;
-
-  /// The committed schedule so far (records are complete at commitment,
-  /// since a commitment fully determines the task's trajectory).
-  const Schedule& schedule() const { return schedule_; }
-
-  /// The decision/event log; empty unless options.enable_trace was set.
-  const Trace& trace() const { return trace_; }
+  Time now() const override { return now_; }
+  const platform::Platform& platform() const override { return *platform_; }
+  Time port_free_at() const override;
+  Time slave_ready_at(SlaveId j) const override;
+  int tasks_in_system(SlaveId j) const override;
+  TaskId pending_front() const override;
+  std::vector<TaskId> pending_tasks() const override;
+  int pending_count() const override { return pending_count_; }
+  int total_tasks() const override { return static_cast<int>(tasks_.size()); }
+  int completed_or_committed() const override { return committed_; }
+  const TaskSpec& task_spec(TaskId i) const override;
+  std::optional<SlaveId> assignment_of(TaskId task) const override;
+  Time completion_if_assigned(TaskId task, SlaveId j) const override;
+  SlaveId best_completion_slave(TaskId task) const override;
+  const Schedule& schedule() const override { return schedule_; }
+  const Trace& trace() const override { return trace_; }
 
  private:
   struct TaskState {
@@ -134,38 +149,61 @@ class OnePortEngine {
     SlaveId slave = -1;
   };
 
+  void require_bound() const;
   void process_releases();
   /// One decision round; returns true if an assignment was committed.
   bool try_decide();
   void commit(TaskId task, SlaveId slave);
-  /// Earliest event strictly after now() (release, port free, slave free),
-  /// or nullopt when nothing is scheduled to happen.
-  std::optional<Time> next_wakeup() const;
-  void advance(Time limit, bool allow_decisions_at_limit);
+  /// Earliest event strictly after now() (release, port free, completion,
+  /// live wake-up), or nullopt when nothing is scheduled to happen. Prunes
+  /// stale calendar entries, hence non-const.
+  std::optional<Time> next_wakeup();
 
-  platform::Platform platform_;
-  OnlineScheduler& scheduler_;
+  /// O(1) pending-set maintenance (intrusive list over task ids).
+  void pending_push_back(TaskId id);
+  void pending_erase(TaskId id);
+
+  std::optional<platform::Platform> platform_;
+  OnlineScheduler* scheduler_ = nullptr;
   EngineOptions options_;
 
   Time now_ = 0.0;
   std::vector<TaskState> tasks_;
   std::vector<TaskId> release_order_;  ///< task ids sorted by release
   std::size_t next_release_idx_ = 0;
-  std::deque<TaskId> pending_;
+
+  /// Pending = released, unassigned tasks in FIFO release order, stored as
+  /// an intrusive doubly-linked list threaded through per-task slots so
+  /// commit() unlinks in O(1) regardless of which pending task a policy
+  /// picks.
+  std::vector<TaskId> pending_next_;
+  std::vector<TaskId> pending_prev_;
+  std::vector<std::uint8_t> in_pending_;
+  TaskId pending_head_ = -1;
+  TaskId pending_tail_ = -1;
+  int pending_count_ = 0;
+
   std::vector<Time> port_busy_until_;  ///< size == port_capacity (1+)
   std::vector<Time> slave_ready_;
   /// Per-slave completion instants in commit order (monotone per slave);
-  /// supports tasks_in_system() lookups and completion wake-ups for
-  /// schedulers that Defer until a queue drains.
+  /// supports tasks_in_system() lookups.
   std::vector<std::vector<Time>> slave_comp_ends_;
   int committed_ = 0;
-  std::optional<Time> scheduler_wake_;  ///< pending WaitUntil request
+
+  EventQueue events_;
+  /// Generation stamp for WaitUntil calendar entries: bumped by every new
+  /// request and by every assignment, so superseded wake-ups are pruned
+  /// lazily instead of searched for.
+  std::uint32_t wake_gen_ = 0;
+
   Schedule schedule_;
   Trace trace_;
 };
 
 /// Convenience: run `scheduler` on (platform, workload) to completion and
-/// return the resulting schedule.
+/// return the resulting schedule. Reuses one engine per thread across calls
+/// (falls back to a stack engine on re-entrant use), so sweeps that call it
+/// per (cell, platform, algorithm) stop reallocating the simulation state.
 Schedule simulate(const platform::Platform& platform, const Workload& workload,
                   OnlineScheduler& scheduler, EngineOptions options = {});
 

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+
+/// The read-only simulation state a scheduler (or adversary) may observe:
+/// the committed past and the currently released tasks — never future
+/// releases, which is what makes the policies on-line.
+///
+/// Two engines implement this interface: the production OnePortEngine
+/// (event-calendar driven, see engine.hpp) and the frozen ReferenceEngine
+/// (the original scan-based loop, see reference_engine.hpp). Schedulers are
+/// written against this view so the differential harness in
+/// tests/test_engine_diff.cpp can run the *same* policy on both engines and
+/// require bit-identical schedules and traces.
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+
+  virtual Time now() const = 0;
+  virtual const platform::Platform& platform() const = 0;
+
+  /// Earliest time a master port is (or becomes) free, >= now().
+  virtual Time port_free_at() const = 0;
+  /// True if an unused port exists right now.
+  bool port_free_now() const { return port_free_at() <= now() + kTimeEps; }
+
+  /// Time slave j finishes everything committed to it so far (its
+  /// "ready-time" in the paper's terminology); == now() when idle.
+  virtual Time slave_ready_at(SlaveId j) const = 0;
+  /// True if slave j has no committed work beyond now().
+  bool slave_free_now(SlaveId j) const {
+    return slave_ready_at(j) <= now() + kTimeEps;
+  }
+  /// Committed-but-uncompleted tasks on slave j at now() (in flight on the
+  /// link, waiting in the slave's queue, or computing). Queue-depth-aware
+  /// policies (e.g. ThrottledLs) throttle on this.
+  virtual int tasks_in_system(SlaveId j) const = 0;
+
+  /// Oldest released, unassigned task (FIFO release order). Throws
+  /// std::logic_error when nothing is pending; the engine only consults a
+  /// scheduler while at least one task is pending, so a legal policy never
+  /// sees the throw.
+  virtual TaskId pending_front() const = 0;
+  /// Released, unassigned task ids in FIFO release order. Materializes a
+  /// fresh vector — meant for inspection and tests, not per-decision hot
+  /// paths (front + count cover the registry policies).
+  virtual std::vector<TaskId> pending_tasks() const = 0;
+  virtual int pending_count() const = 0;
+
+  virtual int total_tasks() const = 0;
+  virtual int completed_or_committed() const = 0;
+  virtual const TaskSpec& task_spec(TaskId i) const = 0;
+
+  /// Slave the task was committed to, or nullopt if still unassigned.
+  virtual std::optional<SlaveId> assignment_of(TaskId task) const = 0;
+  /// True once the send for `task` has begun (commitment implies the send
+  /// starts immediately in both engines).
+  bool send_started(TaskId task) const {
+    return assignment_of(task).has_value();
+  }
+
+  /// Estimated completion time of a *hypothetical* commitment of `task` to
+  /// slave j made at time now(): the quantity list scheduling minimizes.
+  /// Deliberately nominal — blind to injected background load.
+  virtual Time completion_if_assigned(TaskId task, SlaveId j) const = 0;
+
+  /// The slave minimizing completion_if_assigned(task, j), with list
+  /// scheduling's exact tie-break: a later slave wins only when strictly
+  /// better by more than kTimeEps. One interface call instead of one per
+  /// slave — the production engine overrides it with a scan over its own
+  /// state (the send-start term is loop-invariant), turning LS's inner loop
+  /// from m virtual probes into one. The default is the plain generic loop;
+  /// ReferenceEngine keeps it, so the override cannot drift unnoticed: the
+  /// differential suite compares the resulting schedules bit-for-bit.
+  virtual SlaveId best_completion_slave(TaskId task) const {
+    SlaveId best = 0;
+    Time best_completion = completion_if_assigned(task, 0);
+    for (SlaveId j = 1; j < platform().size(); ++j) {
+      const Time completion = completion_if_assigned(task, j);
+      if (completion < best_completion - kTimeEps) {
+        best = j;
+        best_completion = completion;
+      }
+    }
+    return best;
+  }
+
+  /// The committed schedule so far (records are complete at commitment,
+  /// since a commitment fully determines the task's trajectory).
+  virtual const Schedule& schedule() const = 0;
+
+  /// The decision/event log; empty unless tracing was enabled.
+  virtual const Trace& trace() const = 0;
+};
+
+}  // namespace msol::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace msol::core {
+
+/// What a calendar entry announces. Entries carry no payload beyond the
+/// instant: the engine re-derives all state from its own bookkeeping when it
+/// wakes, so a stale entry is at worst a no-op wake-up that the engine prunes
+/// before acting (see OnePortEngine::next_wakeup).
+///
+/// Only the event families that would otherwise need a scan live in the
+/// heap. Releases keep their sorted-order cursor and port frees their
+/// capacity-bounded array (both O(1)-ish to consult), so enqueueing them
+/// would be pure overhead — measured at ~25% of engine time on small
+/// platforms.
+enum class EventKind : std::uint8_t {
+  kCompletion,     ///< a slave finishes one task (the last one pending on a
+                   ///< slave doubles as its slave-free instant)
+  kSchedulerWake,  ///< a WaitUntil request comes due
+};
+
+/// One calendar entry. `gen` is a caller-managed generation stamp used to
+/// invalidate entries lazily (scheduler wake-ups are superseded by newer
+/// requests or by an assignment); kinds that are facts once emitted
+/// (releases, port frees, completions) leave it at 0.
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kCompletion;
+  std::uint32_t gen = 0;
+};
+
+/// Binary min-heap event calendar: the single source of future wake-up
+/// instants for the event-driven engine. Replaces the per-step linear scans
+/// over ports, slaves and per-slave completion lists that the pre-calendar
+/// engine (retained as ReferenceEngine) performs in its next_wakeup().
+///
+/// Deletion is lazy: consumers pop entries that their own state proves
+/// stale (in the past, or generation-superseded). Ties on time may pop in
+/// any order — only the minimum *instant* is ever consumed, never the entry
+/// identity.
+class EventQueue {
+ public:
+  void push(Time time, EventKind kind, std::uint32_t gen = 0) {
+    heap_.push_back(Event{time, kind, gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest entry; undefined when empty().
+  const Event& top() const { return heap_.front(); }
+
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  /// Drops every entry but keeps the allocation, so a reused engine stops
+  /// paying per-cell heap growth in grid sweeps.
+  void clear() { heap_.clear(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time > b.time;
+    }
+  };
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace msol::core

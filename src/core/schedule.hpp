@@ -36,6 +36,9 @@ class Schedule {
  public:
   void add(TaskRecord record) { records_.push_back(record); }
 
+  /// Drops all records but keeps the allocation (reusable-engine support).
+  void clear() { records_.clear(); }
+
   int size() const { return static_cast<int>(records_.size()); }
   bool empty() const { return records_.empty(); }
   const TaskRecord& at(int i) const { return records_[static_cast<std::size_t>(i)]; }

@@ -7,7 +7,7 @@
 
 namespace msol::core {
 
-class OnePortEngine;
+class EngineView;
 
 /// Commit a pending task to a slave: the send begins immediately.
 struct Assign {
@@ -35,18 +35,21 @@ using Decision = std::variant<Assign, Defer, WaitUntil>;
 ///
 /// The engine calls decide() whenever (a) the master's port is free and
 /// (b) at least one released task is unassigned. The scheduler sees only the
-/// committed past and the currently released tasks through the engine's
-/// const interface — never future releases, which is what makes it on-line.
+/// committed past and the currently released tasks through the EngineView
+/// interface — never future releases, which is what makes it on-line.
+/// Policies take the abstract view (not a concrete engine) so the same
+/// instance can drive both the event-calendar OnePortEngine and the frozen
+/// ReferenceEngine the differential tests compare against.
 class OnlineScheduler {
  public:
   virtual ~OnlineScheduler() = default;
 
   virtual std::string name() const = 0;
 
-  virtual Decision decide(const OnePortEngine& engine) = 0;
+  virtual Decision decide(const EngineView& engine) = 0;
 
   /// Notification that `task` just became available on the master.
-  virtual void on_task_released(const OnePortEngine& engine, TaskId task) {
+  virtual void on_task_released(const EngineView& engine, TaskId task) {
     (void)engine;
     (void)task;
   }

@@ -35,6 +35,9 @@ class Trace {
  public:
   void record(TraceEvent event) { events_.push_back(event); }
 
+  /// Drops all events but keeps the allocation (reusable-engine support).
+  void clear() { events_.clear(); }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }

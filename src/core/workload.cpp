@@ -72,6 +72,34 @@ Workload Workload::bursty(int n, int burst, Time mean_gap, util::Rng& rng) {
   return Workload(std::move(tasks));
 }
 
+Workload Workload::inhomogeneous_poisson(int n, double base_rate,
+                                         double amplitude, Time period,
+                                         util::Rng& rng) {
+  if (base_rate <= 0.0) {
+    throw std::invalid_argument("Workload: base_rate must be > 0");
+  }
+  if (amplitude < 0.0 || amplitude > 1.0) {
+    throw std::invalid_argument("Workload: amplitude must be in [0, 1]");
+  }
+  if (period <= 0.0) {
+    throw std::invalid_argument("Workload: period must be > 0");
+  }
+  const double peak = base_rate * (1.0 + amplitude);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  Time t = 0.0;
+  while (static_cast<int>(tasks.size()) < n) {
+    t += rng.exponential(peak);
+    const double rate =
+        base_rate * (1.0 + amplitude * std::sin(two_pi * t / period));
+    if (rng.uniform(0.0, 1.0) * peak <= rate) {
+      tasks.push_back(TaskSpec{t, 1.0, 1.0});
+    }
+  }
+  return Workload(std::move(tasks));
+}
+
 Workload Workload::from_releases(std::vector<Time> releases) {
   std::vector<TaskSpec> tasks;
   tasks.reserve(releases.size());
@@ -90,6 +118,36 @@ Workload Workload::with_lognormal_noise(double comm_sigma, double comp_sigma,
   for (TaskSpec& t : tasks) {
     if (comm_sigma > 0.0) t.comm_factor *= std::exp(comm_noise(rng.engine()));
     if (comp_sigma > 0.0) t.comp_factor *= std::exp(comp_noise(rng.engine()));
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::with_pareto_sizes(double alpha, double cap,
+                                     util::Rng& rng) const {
+  if (alpha <= 1.0) {
+    throw std::invalid_argument(
+        "Workload: pareto alpha must be > 1 (finite mean)");
+  }
+  if (cap < 1.0) {
+    throw std::invalid_argument("Workload: pareto cap must be >= 1");
+  }
+  const double x_m = (alpha - 1.0) / alpha;  // unit mean before truncation
+  // Truncation at cap pulls the mean below 1 (for alpha = 1.5, cap = 20 it
+  // lands near 0.914), which would silently run every heavy-tail cell at a
+  // lower effective load than the campaign's `load` knob states. Divide by
+  // the analytic truncated mean E[min(X, cap)] so the delivered mix is
+  // exactly unit-mean and the arrival-rate calibration stays honest.
+  const double truncated_mean =
+      x_m / (alpha - 1.0) * (alpha - std::pow(x_m / cap, alpha - 1.0));
+  std::vector<TaskSpec> tasks = tasks_;
+  for (TaskSpec& t : tasks) {
+    // Inverse-CDF sampling; the draw is clamped away from 0 so the
+    // power-law transform stays finite, then truncated at cap.
+    const double u = std::max(rng.uniform(0.0, 1.0), 1e-12);
+    const double size =
+        std::min(x_m / std::pow(u, 1.0 / alpha), cap) / truncated_mean;
+    t.comm_factor *= size;
+    t.comp_factor *= size;
   }
   return Workload(std::move(tasks));
 }

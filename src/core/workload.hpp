@@ -49,6 +49,22 @@ class Workload {
   /// quiet periods; models the bag-of-tasks campaigns of [10, 1].
   static Workload bursty(int n, int burst, Time mean_gap, util::Rng& rng);
 
+  /// n unit tasks from an inhomogeneous Poisson process with sinusoidally
+  /// modulated intensity
+  ///
+  ///     rate(t) = base_rate * (1 + amplitude * sin(2*pi*t / period)),
+  ///
+  /// sampled by Lewis–Shedler thinning: candidate arrivals are drawn at the
+  /// peak rate base_rate * (1 + amplitude) and accepted with probability
+  /// rate(t) / peak. amplitude in [0, 1]; amplitude = 0 degenerates to the
+  /// homogeneous process (different draws than poisson(), same law). This
+  /// is the time-varying, bursty regime the robustness experiments should
+  /// be stressed on — sustained troughs drain the queues, crests overload
+  /// the port.
+  static Workload inhomogeneous_poisson(int n, double base_rate,
+                                        double amplitude, Time period,
+                                        util::Rng& rng);
+
   /// Releases at fixed times (already-known trace); sizes unit.
   static Workload from_releases(std::vector<Time> releases);
 
@@ -68,6 +84,16 @@ class Workload {
   /// 2's size variation.
   Workload with_lognormal_noise(double comm_sigma, double comp_sigma,
                                 util::Rng& rng) const;
+
+  /// Copy with heavy-tailed task sizes: each task's communication and
+  /// computation factors are scaled by one Pareto(alpha) draw truncated at
+  /// `cap` (so a single sample cannot dominate a whole campaign cell) and
+  /// renormalized by the analytic truncated mean, making the delivered mix
+  /// exactly unit-mean — campaign load calibration assumes mean task size
+  /// 1. alpha must be > 1 (finite mean); alpha near 1 gives the heaviest
+  /// admissible tail. Shipping and compute scale together, as in
+  /// with_size_jitter: the payload itself is bigger, not just one cost.
+  Workload with_pareto_sizes(double alpha, double cap, util::Rng& rng) const;
 
  private:
   std::vector<TaskSpec> tasks_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
@@ -18,6 +19,16 @@ std::string to_string(ArrivalProcess arrival) {
     case ArrivalProcess::kAllAtZero: return "all-at-zero";
     case ArrivalProcess::kPoisson: return "poisson";
     case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kInhomogeneous: return "inhomogeneous";
+  }
+  return "unknown";
+}
+
+std::string to_string(TaskSizeMix mix) {
+  switch (mix) {
+    case TaskSizeMix::kUnit: return "unit";
+    case TaskSizeMix::kPareto: return "pareto";
+    case TaskSizeMix::kLognormal: return "lognormal";
   }
   return "unknown";
 }
@@ -60,8 +71,42 @@ core::Workload make_arrivals(const CampaignConfig& config,
       return core::Workload::bursty(config.num_tasks, burst,
                                     static_cast<double>(burst) / rate, rng);
     }
+    case ArrivalProcess::kInhomogeneous: {
+      const double rate = config.load * max_throughput(platform);
+      return core::Workload::inhomogeneous_poisson(
+          config.num_tasks, rate, config.ipp_amplitude,
+          config.ipp_period_tasks / rate, rng);
+    }
   }
   throw std::logic_error("make_arrivals: unknown arrival process");
+}
+
+/// Applies the configured heavy-tail/lognormal size mix (no jitter).
+core::Workload apply_size_mix(const CampaignConfig& config,
+                              core::Workload workload, util::Rng& rng) {
+  switch (config.size_mix) {
+    case TaskSizeMix::kUnit:
+      break;
+    case TaskSizeMix::kPareto:
+      workload = workload.with_pareto_sizes(1.5, 20.0, rng);
+      break;
+    case TaskSizeMix::kLognormal:
+      workload = workload.with_lognormal_noise(0.4, 0.4, rng);
+      break;
+  }
+  return workload;
+}
+
+/// Size mix first, then the Figure-2 jitter, in that fixed order so the
+/// jitter perturbs the *sized* tasks the way the robustness experiment
+/// intends.
+core::Workload shape_workload(const CampaignConfig& config,
+                              core::Workload workload, util::Rng& rng) {
+  workload = apply_size_mix(config, std::move(workload), rng);
+  if (config.size_jitter > 0.0) {
+    workload = workload.with_size_jitter(config.size_jitter, rng);
+  }
+  return workload;
 }
 
 std::vector<std::string> algorithm_names(const CampaignConfig& config) {
@@ -90,10 +135,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     util::Rng rep_rng = rng.fork();
     const platform::Platform plat = generator.generate(
         config.platform_class, config.num_slaves, rep_rng);
-    core::Workload workload = make_arrivals(config, plat, rep_rng);
-    if (config.size_jitter > 0.0) {
-      workload = workload.with_size_jitter(config.size_jitter, rep_rng);
-    }
+    const core::Workload workload =
+        shape_workload(config, make_arrivals(config, plat, rep_rng), rep_rng);
 
     // SRPT is the paper's normalizer; run it first.
     std::map<std::string, core::Schedule> schedules;
@@ -159,7 +202,8 @@ std::vector<RobustnessResult> run_robustness(const CampaignConfig& config) {
     util::Rng rep_rng = rng.fork();
     const platform::Platform plat = generator.generate(
         config.platform_class, config.num_slaves, rep_rng);
-    const core::Workload identical = make_arrivals(config, plat, rep_rng);
+    const core::Workload identical = apply_size_mix(
+        config, make_arrivals(config, plat, rep_rng), rep_rng);
     const core::Workload jittered =
         identical.with_size_jitter(config.size_jitter, rep_rng);
 

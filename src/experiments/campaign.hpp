@@ -14,12 +14,28 @@ namespace msol::experiments {
 /// thousand tasks" but does not document the arrival process, so it is a
 /// first-class, swept parameter here (see bench_arrival_sweep).
 enum class ArrivalProcess {
-  kAllAtZero,  ///< whole bag available up front
-  kPoisson,    ///< exponential inter-arrivals at `load` x system capacity
-  kBursty,     ///< bursts of 25 at Poisson-distributed instants
+  kAllAtZero,      ///< whole bag available up front
+  kPoisson,        ///< exponential inter-arrivals at `load` x system capacity
+  kBursty,         ///< bursts of 25 at Poisson-distributed instants
+  kInhomogeneous,  ///< sinusoidally modulated Poisson (thinning), same mean
+                   ///< rate as kPoisson but alternating crests and troughs
 };
 
 std::string to_string(ArrivalProcess arrival);
+
+/// Per-task size distribution applied on top of the arrival process (before
+/// the Figure-2 jitter). The paper's tasks are identical (kUnit); the mixes
+/// model real bag-of-tasks campaigns where payloads span orders of
+/// magnitude.
+enum class TaskSizeMix {
+  kUnit,       ///< identical unit tasks (the paper's setting)
+  kPareto,     ///< heavy tail: Pareto(alpha = 1.5) normalized to mean 1,
+               ///< truncated at 20x
+  kLognormal,  ///< moderate spread: independent lognormal (sigma = 0.4) on
+               ///< comm and comp
+};
+
+std::string to_string(TaskSizeMix mix);
 
 /// One Figure-1-style campaign: N random platforms of one class, a task
 /// stream per platform, every algorithm on the identical instance.
@@ -33,6 +49,12 @@ struct CampaignConfig {
   ArrivalProcess arrival = ArrivalProcess::kPoisson;
   double load = 0.9;       ///< arrival rate as a fraction of max throughput
   double size_jitter = 0.0;  ///< Figure 2: 0.10 (tasks vary by up to 10%)
+  TaskSizeMix size_mix = TaskSizeMix::kUnit;
+  /// kInhomogeneous knobs: modulation depth in [0, 1], and the wave period
+  /// expressed in mean inter-arrival times (period_time = tasks / rate), so
+  /// one crest-trough cycle spans about that many arrivals at any load.
+  double ipp_amplitude = 0.9;
+  double ipp_period_tasks = 50.0;
   int lookahead = 1000;    ///< SLJF/SLJFWC planned-task count K
   int port_capacity = 1;   ///< 1 = one-port; 0 = unbounded (ablation)
   std::vector<std::string> algorithms;  ///< empty = the paper's seven

@@ -27,6 +27,7 @@ ResultRecord make_record(const ScenarioSpec& cell,
   record.load = cell.config.load;
   record.size_jitter = cell.config.size_jitter;
   record.port_capacity = cell.config.port_capacity;
+  record.size_mix = cell.config.size_mix;
   record.result = algorithm;
   return record;
 }

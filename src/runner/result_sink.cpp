@@ -77,7 +77,7 @@ CsvSink::CsvSink(std::ostream& out) : out_(out) {}
 std::string CsvSink::header() {
   std::string h =
       "cell_index,cell_id,cell_seed,platform_class,slaves,arrival,load,"
-      "jitter,port,algorithm,platforms";
+      "jitter,port,sizes,algorithm,platforms";
   for (const char* metric : kMetricNames) {
     for (const char* stat :
          {"mean", "stddev", "min", "max", "median", "ci95"}) {
@@ -101,6 +101,7 @@ std::string CsvSink::to_csv_row(const ResultRecord& record) {
   row += ',' + util::fmt_exact(record.load);
   row += ',' + util::fmt_exact(record.size_jitter);
   row += ',' + std::to_string(record.port_capacity);
+  row += ',' + experiments::to_string(record.size_mix);
   row += ',' + csv_escape(record.result.name);
   row += ',' + std::to_string(record.result.makespan.count);
   const util::Summary* summaries[6];
@@ -149,6 +150,8 @@ std::string JsonLinesSink::to_json(const ResultRecord& record) {
   json += ",\"load\":" + json_number(record.load);
   json += ",\"jitter\":" + json_number(record.size_jitter);
   json += ",\"port\":" + std::to_string(record.port_capacity);
+  json += ",\"sizes\":\"" +
+          json_escape(experiments::to_string(record.size_mix)) + "\"";
   json += ",\"algorithm\":\"" + json_escape(record.result.name) + "\"";
   json += ",\"platforms\":" + std::to_string(record.result.makespan.count);
 

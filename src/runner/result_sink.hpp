@@ -24,6 +24,7 @@ struct ResultRecord {
   double load = 0.0;
   double size_jitter = 0.0;
   int port_capacity = 0;
+  experiments::TaskSizeMix size_mix = experiments::TaskSizeMix::kUnit;
   experiments::AlgorithmResult result;
 };
 

@@ -84,16 +84,25 @@ experiments::ArrivalProcess parse_arrival(const std::string& token) {
   using experiments::ArrivalProcess;
   for (ArrivalProcess arrival :
        {ArrivalProcess::kAllAtZero, ArrivalProcess::kPoisson,
-        ArrivalProcess::kBursty}) {
+        ArrivalProcess::kBursty, ArrivalProcess::kInhomogeneous}) {
     if (token == experiments::to_string(arrival)) return arrival;
   }
   throw std::invalid_argument("grid: unknown arrival process '" + token + "'");
 }
 
+experiments::TaskSizeMix parse_size_mix(const std::string& token) {
+  using experiments::TaskSizeMix;
+  for (TaskSizeMix mix : {TaskSizeMix::kUnit, TaskSizeMix::kPareto,
+                          TaskSizeMix::kLognormal}) {
+    if (token == experiments::to_string(mix)) return mix;
+  }
+  throw std::invalid_argument("grid: unknown size mix '" + token + "'");
+}
+
 std::size_t cell_count(const ScenarioGrid& grid) {
   return grid.classes.size() * grid.slave_counts.size() *
          grid.arrivals.size() * grid.loads.size() * grid.jitters.size() *
-         grid.port_capacities.size();
+         grid.port_capacities.size() * grid.size_mixes.size();
 }
 
 std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
@@ -103,7 +112,8 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
       {"arrival", grid.arrivals.size()},
       {"load", grid.loads.size()},
       {"jitter", grid.jitters.size()},
-      {"port", grid.port_capacities.size()}};
+      {"port", grid.port_capacities.size()},
+      {"sizes", grid.size_mixes.size()}};
   for (const auto& [axis, size] : axes) {
     if (size == 0) {
       throw std::invalid_argument(std::string("expand: empty axis '") + axis +
@@ -120,26 +130,33 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
         for (double load : grid.loads) {
           for (double jitter : grid.jitters) {
             for (int port : grid.port_capacities) {
-              ScenarioSpec cell;
-              cell.index = cells.size();
-              cell.id = platform::to_string(cls) + "/m" +
-                        std::to_string(slaves) + "/" +
-                        experiments::to_string(arrival) + "/load" +
-                        util::fmt_exact(load) + "/jit" + util::fmt_exact(jitter) +
-                        "/port" + std::to_string(port);
-              cell.config.platform_class = cls;
-              cell.config.num_slaves = slaves;
-              cell.config.arrival = arrival;
-              cell.config.load = load;
-              cell.config.size_jitter = jitter;
-              cell.config.port_capacity = port;
-              cell.config.num_platforms = grid.num_platforms;
-              cell.config.num_tasks = grid.num_tasks;
-              cell.config.lookahead = grid.lookahead;
-              cell.config.algorithms = grid.algorithms;
-              cell.config.ranges = grid.ranges;
-              cell.config.seed = seeder.child_seed(cell.index);
-              cells.push_back(std::move(cell));
+              for (experiments::TaskSizeMix mix : grid.size_mixes) {
+                ScenarioSpec cell;
+                cell.index = cells.size();
+                cell.id = platform::to_string(cls) + "/m" +
+                          std::to_string(slaves) + "/" +
+                          experiments::to_string(arrival) + "/load" +
+                          util::fmt_exact(load) + "/jit" +
+                          util::fmt_exact(jitter) + "/port" +
+                          std::to_string(port) + "/sz-" +
+                          experiments::to_string(mix);
+                cell.config.platform_class = cls;
+                cell.config.num_slaves = slaves;
+                cell.config.arrival = arrival;
+                cell.config.load = load;
+                cell.config.size_jitter = jitter;
+                cell.config.port_capacity = port;
+                cell.config.size_mix = mix;
+                cell.config.ipp_amplitude = grid.ipp_amplitude;
+                cell.config.ipp_period_tasks = grid.ipp_period_tasks;
+                cell.config.num_platforms = grid.num_platforms;
+                cell.config.num_tasks = grid.num_tasks;
+                cell.config.lookahead = grid.lookahead;
+                cell.config.algorithms = grid.algorithms;
+                cell.config.ranges = grid.ranges;
+                cell.config.seed = seeder.child_seed(cell.index);
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }
@@ -221,6 +238,16 @@ ScenarioGrid parse_grid(const std::string& text) {
           value, raw, [](const std::string& t, const std::string& l) {
             return static_cast<int>(parse_int(t, l));
           });
+    } else if (key == "sizes") {
+      grid.size_mixes = parse_list<experiments::TaskSizeMix>(
+          value, raw,
+          [](const std::string& t, const std::string&) {
+            return parse_size_mix(t);
+          });
+    } else if (key == "ipp_amplitude") {
+      grid.ipp_amplitude = parse_double(value, raw);
+    } else if (key == "ipp_period_tasks") {
+      grid.ipp_period_tasks = parse_double(value, raw);
     } else if (key == "comm_lo") {
       grid.ranges.comm_lo = parse_double(value, raw);
     } else if (key == "comm_hi") {
@@ -293,7 +320,17 @@ std::string serialize_grid(const ScenarioGrid& grid) {
   join("jitter", grid.jitters, util::fmt_exact);
   join("port", grid.port_capacities,
        [](int v) { return std::to_string(v); });
+  join("sizes", grid.size_mixes,
+       [](experiments::TaskSizeMix m) { return experiments::to_string(m); });
 
+  const ScenarioGrid grid_defaults;
+  if (grid.ipp_amplitude != grid_defaults.ipp_amplitude) {
+    out << "ipp_amplitude = " << util::fmt_exact(grid.ipp_amplitude) << "\n";
+  }
+  if (grid.ipp_period_tasks != grid_defaults.ipp_period_tasks) {
+    out << "ipp_period_tasks = " << util::fmt_exact(grid.ipp_period_tasks)
+        << "\n";
+  }
   const platform::GeneratorRanges defaults;
   if (grid.ranges.comm_lo != defaults.comm_lo) {
     out << "comm_lo = " << util::fmt_exact(grid.ranges.comm_lo) << "\n";

@@ -17,9 +17,11 @@ namespace msol::runner {
 /// examples load from disk.
 ///
 /// Axis order (outermost to innermost) is fixed — class, slaves, arrival,
-/// load, jitter, port — so a grid expands to the same cell sequence
+/// load, jitter, port, sizes — so a grid expands to the same cell sequence
 /// everywhere: cell indices, and therefore the counter-derived per-cell
-/// seeds, are part of the format's contract.
+/// seeds, are part of the format's contract. (The `sizes` axis was appended
+/// innermost precisely so that grids which do not sweep it keep the exact
+/// cell indices and seeds they had before it existed.)
 struct ScenarioGrid {
   std::string name = "grid";
   std::uint64_t seed = 2006;
@@ -30,6 +32,10 @@ struct ScenarioGrid {
   int lookahead = 1000;
   std::vector<std::string> algorithms;  ///< empty = the paper's seven
   platform::GeneratorRanges ranges;
+  /// Inhomogeneous-Poisson knobs, applied to every cell whose arrival axis
+  /// value is `inhomogeneous` (see CampaignConfig for the semantics).
+  double ipp_amplitude = 0.9;
+  double ipp_period_tasks = 50.0;
 
   // Swept axes; expand() takes their cartesian product.
   std::vector<platform::PlatformClass> classes = {
@@ -40,6 +46,8 @@ struct ScenarioGrid {
   std::vector<double> loads = {0.9};
   std::vector<double> jitters = {0.0};
   std::vector<int> port_capacities = {1};
+  std::vector<experiments::TaskSizeMix> size_mixes = {
+      experiments::TaskSizeMix::kUnit};
 };
 
 /// One concrete cell of an expanded grid: its position in expansion order,
@@ -74,6 +82,9 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid);
 ///   load = 0.5, 0.9
 ///   jitter = 0, 0.1
 ///   port = 1
+///   sizes = unit, pareto
+///   ipp_amplitude = 0.9
+///   ipp_period_tasks = 50
 ///   algorithms = SRPT, LS, RR
 ///
 /// Unknown keys, unparsable values, and duplicate keys throw
@@ -94,5 +105,6 @@ std::string to_string(const std::vector<std::string>& values);
 /// "fully-heterogeneous", ...); shared with msol_run's --filter flags.
 platform::PlatformClass parse_platform_class(const std::string& token);
 experiments::ArrivalProcess parse_arrival(const std::string& token);
+experiments::TaskSizeMix parse_size_mix(const std::string& token);
 
 }  // namespace msol::runner

@@ -19,8 +19,8 @@ class AllTo : public core::OnlineScheduler {
   std::string name() const override {
     return "AllTo(P" + std::to_string(slave_ + 1) + ")";
   }
-  core::Decision decide(const core::OnePortEngine& engine) override {
-    return core::Assign{engine.pending().front(), slave_};
+  core::Decision decide(const core::EngineView& engine) override {
+    return core::Assign{engine.pending_front(), slave_};
   }
 
  private:
@@ -34,9 +34,9 @@ class Procrastinator : public core::OnlineScheduler {
  public:
   explicit Procrastinator(core::Time wake) : wake_(wake) {}
   std::string name() const override { return "Procrastinator"; }
-  core::Decision decide(const core::OnePortEngine& engine) override {
+  core::Decision decide(const core::EngineView& engine) override {
     if (engine.now() + core::kTimeEps < wake_) return core::WaitUntil{wake_};
-    return core::Assign{engine.pending().front(), 0};
+    return core::Assign{engine.pending_front(), 0};
   }
 
  private:
@@ -48,8 +48,8 @@ class Procrastinator : public core::OnlineScheduler {
 class FirstGoodThenBad : public core::OnlineScheduler {
  public:
   std::string name() const override { return "FirstGoodThenBad"; }
-  core::Decision decide(const core::OnePortEngine& engine) override {
-    const core::TaskId task = engine.pending().front();
+  core::Decision decide(const core::EngineView& engine) override {
+    const core::TaskId task = engine.pending_front();
     const core::SlaveId slave =
         task == 0 ? 0 : engine.platform().size() - 1;
     return core::Assign{task, slave};
@@ -103,8 +103,8 @@ TEST(BranchCoverage, Theorem1MiddleBranchJOnP2) {
   class IThenJBad : public core::OnlineScheduler {
    public:
     std::string name() const override { return "IThenJBad"; }
-    core::Decision decide(const core::OnePortEngine& engine) override {
-      const core::TaskId task = engine.pending().front();
+    core::Decision decide(const core::EngineView& engine) override {
+      const core::TaskId task = engine.pending_front();
       return core::Assign{task, task == 1 ? 1 : 0};
     }
   } policy;
@@ -121,8 +121,8 @@ TEST(BranchCoverage, Theorem1StalledSecondStage) {
   class StallSecond : public core::OnlineScheduler {
    public:
     std::string name() const override { return "StallSecond"; }
-    core::Decision decide(const core::OnePortEngine& engine) override {
-      const core::TaskId task = engine.pending().front();
+    core::Decision decide(const core::EngineView& engine) override {
+      const core::TaskId task = engine.pending_front();
       if (task == 0) return core::Assign{task, 0};
       if (engine.now() + core::kTimeEps < 2.5) return core::Defer{};
       return core::Assign{task, 0};

@@ -17,8 +17,8 @@ class ToSlave : public OnlineScheduler {
  public:
   explicit ToSlave(SlaveId j) : slave_(j) {}
   std::string name() const override { return "ToSlave"; }
-  Decision decide(const OnePortEngine& engine) override {
-    return Assign{engine.pending().front(), slave_};
+  Decision decide(const EngineView& engine) override {
+    return Assign{engine.pending_front(), slave_};
   }
 
  private:
@@ -31,9 +31,9 @@ class LazySender : public OnlineScheduler {
  public:
   explicit LazySender(Time wait_until) : wait_until_(wait_until) {}
   std::string name() const override { return "LazySender"; }
-  Decision decide(const OnePortEngine& engine) override {
+  Decision decide(const EngineView& engine) override {
     if (engine.now() + kTimeEps < wait_until_) return Defer{};
-    return Assign{engine.pending().front(), 0};
+    return Assign{engine.pending_front(), 0};
   }
 
  private:
@@ -44,7 +44,7 @@ class LazySender : public OnlineScheduler {
 class Stubborn : public OnlineScheduler {
  public:
   std::string name() const override { return "Stubborn"; }
-  Decision decide(const OnePortEngine&) override { return Defer{}; }
+  Decision decide(const EngineView&) override { return Defer{}; }
 };
 
 Platform two_slaves() {
@@ -115,9 +115,9 @@ TEST(Engine, WaitUntilWakesWithoutExternalEvents) {
   class WaitThenSend : public OnlineScheduler {
    public:
     std::string name() const override { return "WaitThenSend"; }
-    Decision decide(const OnePortEngine& engine) override {
+    Decision decide(const EngineView& engine) override {
       if (engine.now() + kTimeEps < 7.5) return WaitUntil{7.5};
-      return Assign{engine.pending().front(), 0};
+      return Assign{engine.pending_front(), 0};
     }
   } policy;
   OnePortEngine engine(two_slaves(), policy);
@@ -132,12 +132,12 @@ TEST(Engine, WaitUntilInThePastCannotSpinForever) {
   class BadWaiter : public OnlineScheduler {
    public:
     std::string name() const override { return "BadWaiter"; }
-    Decision decide(const OnePortEngine& engine) override {
+    Decision decide(const EngineView& engine) override {
       if (!asked_) {
         asked_ = true;
         return WaitUntil{engine.now()};
       }
-      return Assign{engine.pending().front(), 0};
+      return Assign{engine.pending_front(), 0};
     }
     void reset() override { asked_ = false; }
 
@@ -283,8 +283,8 @@ TEST(Engine, RejectsBadSchedulerChoices) {
   class BadSlave : public OnlineScheduler {
    public:
     std::string name() const override { return "BadSlave"; }
-    Decision decide(const OnePortEngine& engine) override {
-      return Assign{engine.pending().front(), 99};
+    Decision decide(const EngineView& engine) override {
+      return Assign{engine.pending_front(), 99};
     }
   } bad_slave;
   OnePortEngine engine1(two_slaves(), bad_slave);
@@ -294,11 +294,77 @@ TEST(Engine, RejectsBadSchedulerChoices) {
   class BadTask : public OnlineScheduler {
    public:
     std::string name() const override { return "BadTask"; }
-    Decision decide(const OnePortEngine&) override { return Assign{42, 0}; }
+    Decision decide(const EngineView&) override { return Assign{42, 0}; }
   } bad_task;
   OnePortEngine engine2(two_slaves(), bad_task);
   engine2.load(Workload::all_at_zero(1));
   EXPECT_THROW(engine2.run_to_completion(), std::logic_error);
+}
+
+TEST(Engine, PendingTasksSnapshotKeepsFifoOrder) {
+  LazySender policy(100.0);  // defers, so pending accumulates
+  OnePortEngine engine(two_slaves(), policy);
+  engine.load(Workload::from_releases({0.0, 1.0, 2.0}));
+  engine.inject_task(TaskSpec{2.5, 1.0, 1.0});
+  engine.run_until(3.0);
+  EXPECT_EQ(engine.pending_tasks(), (std::vector<TaskId>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.pending_front(), 0);
+}
+
+TEST(Engine, PendingFrontOnEmptyThrows) {
+  ToSlave policy(0);
+  OnePortEngine engine(two_slaves(), policy);
+  EXPECT_THROW(engine.pending_front(), std::logic_error);
+}
+
+TEST(Engine, ResetReusesTheEngineAsIfFreshlyConstructed) {
+  // Same scenario through a fresh engine and through an engine that first
+  // ran something entirely different (bigger platform, more tasks, other
+  // options): byte-identical schedules, or reset() leaks state.
+  ToSlave warmup_policy(2);
+  EngineOptions warmup_options;
+  warmup_options.port_capacity = 3;
+  warmup_options.enable_trace = true;
+  OnePortEngine reused(
+      Platform({SlaveSpec{1.0, 1.0}, SlaveSpec{2.0, 2.0}, SlaveSpec{3.0, 3.0}}),
+      warmup_policy, warmup_options);
+  reused.load(Workload::all_at_zero(20));
+  reused.run_to_completion();
+
+  Replay fresh_policy({0, 1, 0});
+  Replay reused_policy({0, 1, 0});
+  const Workload work = Workload::from_releases({0.0, 0.5, 4.0});
+  OnePortEngine fresh(two_slaves(), fresh_policy);
+  fresh.load(work);
+  fresh.run_to_completion();
+
+  reused.reset(two_slaves(), reused_policy);
+  reused.load(work);
+  reused.run_to_completion();
+
+  ASSERT_EQ(reused.schedule().size(), fresh.schedule().size());
+  for (int i = 0; i < fresh.schedule().size(); ++i) {
+    EXPECT_EQ(reused.schedule().at(i).slave, fresh.schedule().at(i).slave);
+    EXPECT_EQ(reused.schedule().at(i).comp_end, fresh.schedule().at(i).comp_end);
+  }
+  EXPECT_EQ(reused.now(), fresh.now());
+  EXPECT_TRUE(reused.trace().empty());  // warmup's enable_trace was dropped
+}
+
+TEST(Engine, UseBeforeResetThrows) {
+  OnePortEngine inert;
+  EXPECT_THROW(inert.load(Workload::all_at_zero(1)), std::logic_error);
+  EXPECT_THROW(inert.run_to_completion(), std::logic_error);
+}
+
+TEST(Engine, TakeScheduleMovesRecordsOut) {
+  ToSlave policy(0);
+  OnePortEngine engine(two_slaves(), policy);
+  engine.load(Workload::all_at_zero(2));
+  engine.run_to_completion();
+  const Schedule taken = engine.take_schedule();
+  EXPECT_EQ(taken.size(), 2);
+  EXPECT_TRUE(engine.schedule().empty());
 }
 
 // -------- Schedule metrics ------------------------------------------------

@@ -1,0 +1,267 @@
+// Differential fuzz: the event-calendar OnePortEngine must be
+// *bit-identical* to the frozen ReferenceEngine — same schedule records,
+// same makespan, same trace event sequence — across randomized platforms,
+// workloads (including the inhomogeneous-Poisson and heavy-tail mixes),
+// every scheduler in the registry, port capacities and slowdown windows.
+// 500+ cases run as sharded gtest params so a failure pinpoints its seed.
+//
+// Half of the calendar-engine runs go through a *reused* engine (reset()
+// between cases) instead of a fresh one, so incomplete state clearing in
+// reset() shows up as a cross-case divergence here.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "core/reference_engine.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::core {
+namespace {
+
+constexpr int kShards = 25;
+constexpr int kCasesPerShard = 20;  // 25 x 20 = 500 base cases
+
+/// Legal-but-chaotic policy: random assignments from arbitrary pending
+/// positions, plus bounded WaitUntil stalls. No registry scheduler ever
+/// returns WaitUntil, so without this policy the calendar engine's
+/// generation-stamped kSchedulerWake invalidation (wake_gen_) would sit
+/// outside the differential proof entirely.
+class ChaoticPolicy : public OnlineScheduler {
+ public:
+  explicit ChaoticPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "CHAOS"; }
+
+  Decision decide(const EngineView& engine) override {
+    const int roll = static_cast<int>(rng_.uniform_int(0, 9));
+    if (roll <= 2) {
+      // Strictly-future wake-ups only (a past request degrades to a plain
+      // Defer, which can legitimately deadlock a quiet system); successive
+      // requests supersede each other and assignments cancel them, driving
+      // the calendar engine's generation-stamp pruning.
+      return WaitUntil{engine.now() + rng_.uniform(0.01, 0.5)};
+    }
+    const std::vector<TaskId> pending = engine.pending_tasks();
+    const std::size_t pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+    const SlaveId slave = static_cast<SlaveId>(
+        rng_.uniform_int(0, engine.platform().size() - 1));
+    return Assign{pending[pick], slave};
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+const std::vector<std::string>& fuzz_schedulers() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = algorithms::extended_algorithm_names();
+    all.push_back("RLS");
+    all.push_back("LS-K2");
+    all.push_back("CHAOS");
+    all.push_back("CHAOS");  // twice the rotation weight: it alone covers
+                             // WaitUntil and non-front commits
+    return all;
+  }();
+  return names;
+}
+
+std::unique_ptr<OnlineScheduler> make_policy(const std::string& name,
+                                             int lookahead,
+                                             std::uint64_t seed) {
+  if (name == "CHAOS") return std::make_unique<ChaoticPolicy>(seed);
+  return algorithms::make_scheduler(name, lookahead, seed);
+}
+
+struct Scenario {
+  platform::Platform platform;
+  Workload workload;
+  EngineOptions options;
+  std::string scheduler;
+  int lookahead = 20;
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int m = static_cast<int>(rng.uniform_int(1, 8));
+  const platform::PlatformClass classes[] = {
+      platform::PlatformClass::kFullyHomogeneous,
+      platform::PlatformClass::kCommHomogeneous,
+      platform::PlatformClass::kCompHomogeneous,
+      platform::PlatformClass::kFullyHeterogeneous};
+  platform::Platform plat = platform::PlatformGenerator().generate(
+      classes[rng.uniform_int(0, 3)], m, rng);
+
+  const int n = static_cast<int>(rng.uniform_int(1, 60));
+  Workload work = Workload::all_at_zero(n);
+  switch (rng.uniform_int(0, 4)) {
+    case 0: break;  // all at zero
+    case 1: work = Workload::poisson(n, rng.uniform(0.5, 4.0), rng); break;
+    case 2: work = Workload::uniform(n, rng.uniform(1.0, 20.0), rng); break;
+    case 3:
+      work = Workload::bursty(n, static_cast<int>(rng.uniform_int(1, 8)),
+                              rng.uniform(0.5, 4.0), rng);
+      break;
+    case 4:
+      work = Workload::inhomogeneous_poisson(n, rng.uniform(0.5, 4.0),
+                                             rng.uniform(0.0, 1.0),
+                                             rng.uniform(2.0, 20.0), rng);
+      break;
+  }
+  switch (rng.uniform_int(0, 3)) {
+    case 0: break;  // unit sizes
+    case 1: work = work.with_size_jitter(0.3, rng); break;
+    case 2: work = work.with_pareto_sizes(1.5, 20.0, rng); break;
+    case 3: work = work.with_lognormal_noise(0.4, 0.4, rng); break;
+  }
+
+  EngineOptions options;
+  options.enable_trace = true;
+  options.port_capacity = static_cast<int>(rng.uniform_int(0, 3));
+  const int windows = static_cast<int>(rng.uniform_int(0, 2));
+  for (int w = 0; w < windows; ++w) {
+    const Time begin = rng.uniform(0.0, 10.0);
+    options.slowdowns.push_back(SlowdownWindow{
+        static_cast<SlaveId>(rng.uniform_int(0, m - 1)), begin,
+        begin + rng.uniform(0.5, 20.0), rng.uniform(1.0, 4.0)});
+  }
+
+  const auto& names = fuzz_schedulers();
+  Scenario scenario{std::move(plat), std::move(work), std::move(options),
+                    names[seed % names.size()],
+                    static_cast<int>(rng.uniform_int(0, 40))};
+  return scenario;
+}
+
+void expect_identical(const EngineView& actual, const EngineView& expected,
+                      const std::string& label) {
+  const Schedule& a = actual.schedule();
+  const Schedule& e = expected.schedule();
+  ASSERT_EQ(a.size(), e.size()) << label;
+  for (int i = 0; i < a.size(); ++i) {
+    const TaskRecord& ra = a.at(i);
+    const TaskRecord& re = e.at(i);
+    ASSERT_EQ(ra.task, re.task) << label << " record " << i;
+    ASSERT_EQ(ra.slave, re.slave) << label << " record " << i;
+    // Deliberately exact: both engines must execute the same arithmetic in
+    // the same order, not merely land within an epsilon.
+    ASSERT_EQ(ra.release, re.release) << label << " record " << i;
+    ASSERT_EQ(ra.send_start, re.send_start) << label << " record " << i;
+    ASSERT_EQ(ra.send_end, re.send_end) << label << " record " << i;
+    ASSERT_EQ(ra.comp_start, re.comp_start) << label << " record " << i;
+    ASSERT_EQ(ra.comp_end, re.comp_end) << label << " record " << i;
+  }
+  ASSERT_EQ(a.makespan(), e.makespan()) << label;
+  ASSERT_EQ(actual.now(), expected.now()) << label;
+
+  const auto& ta = actual.trace().events();
+  const auto& te = expected.trace().events();
+  ASSERT_EQ(ta.size(), te.size()) << label;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].kind, te[i].kind) << label << " event " << i;
+    ASSERT_EQ(ta[i].time, te[i].time) << label << " event " << i;
+    ASSERT_EQ(ta[i].task, te[i].task) << label << " event " << i;
+    ASSERT_EQ(ta[i].slave, te[i].slave) << label << " event " << i;
+    ASSERT_EQ(ta[i].aux, te[i].aux) << label << " event " << i;
+  }
+}
+
+class EngineDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDiff, CalendarEngineMatchesReferenceBitExactly) {
+  // A single reused engine across all of this shard's cases: a case with
+  // fewer slaves/tasks than its predecessor would expose stale state.
+  OnePortEngine reused;
+
+  for (int c = 0; c < kCasesPerShard; ++c) {
+    const std::uint64_t seed =
+        1000003ULL * static_cast<std::uint64_t>(GetParam()) +
+        static_cast<std::uint64_t>(c);
+    const Scenario scenario = make_scenario(seed);
+    const std::string label = "seed " + std::to_string(seed) + " (" +
+                              scenario.scheduler + ")";
+
+    // Two instances of the same policy with identical configuration: the
+    // randomized ones (RANDOM, RLS) draw the same stream iff the engines
+    // consult them at the same instants in the same order.
+    const auto policy_a =
+        make_policy(scenario.scheduler, scenario.lookahead, 99);
+    const auto policy_e =
+        make_policy(scenario.scheduler, scenario.lookahead, 99);
+
+    ReferenceEngine expected(scenario.platform, *policy_e, scenario.options);
+    expected.load(scenario.workload);
+    expected.run_to_completion();
+
+    if (c % 2 == 0) {
+      reused.reset(scenario.platform, *policy_a, scenario.options);
+      reused.load(scenario.workload);
+      reused.run_to_completion();
+      expect_identical(reused, expected, label + " [reused]");
+    } else {
+      OnePortEngine fresh(scenario.platform, *policy_a, scenario.options);
+      fresh.load(scenario.workload);
+      fresh.run_to_completion();
+      expect_identical(fresh, expected, label + " [fresh]");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, EngineDiff, ::testing::Range(0, kShards));
+
+// ----- adversary probe discipline ------------------------------------------
+
+class EngineDiffProbes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDiffProbes, RunUntilAndInjectMatchReference) {
+  for (int c = 0; c < 10; ++c) {
+    const std::uint64_t seed =
+        777000ULL + 100ULL * static_cast<std::uint64_t>(GetParam()) +
+        static_cast<std::uint64_t>(c);
+    const Scenario scenario = make_scenario(seed);
+    const std::string label = "probe seed " + std::to_string(seed) + " (" +
+                              scenario.scheduler + ")";
+    const auto policy_a =
+        make_policy(scenario.scheduler, scenario.lookahead, 7);
+    const auto policy_e =
+        make_policy(scenario.scheduler, scenario.lookahead, 7);
+
+    OnePortEngine actual(scenario.platform, *policy_a, scenario.options);
+    ReferenceEngine expected(scenario.platform, *policy_e, scenario.options);
+    actual.load(scenario.workload);
+    expected.load(scenario.workload);
+
+    // Identical probe/injection script on both engines.
+    util::Rng script(seed ^ 0xabcdef);
+    Time probe = 0.0;
+    const int steps = static_cast<int>(script.uniform_int(1, 6));
+    for (int k = 0; k < steps; ++k) {
+      probe += script.uniform(0.0, 3.0);
+      actual.run_until(probe);
+      expected.run_until(probe);
+      ASSERT_EQ(actual.now(), expected.now()) << label;
+      ASSERT_EQ(actual.pending_count(), expected.pending_count()) << label;
+      ASSERT_EQ(actual.completed_or_committed(),
+                expected.completed_or_committed())
+          << label;
+      TaskSpec spec;
+      spec.release = probe + script.uniform(0.0, 2.0);
+      spec.comm_factor = script.uniform(0.5, 2.0);
+      spec.comp_factor = script.uniform(0.5, 2.0);
+      ASSERT_EQ(actual.inject_task(spec), expected.inject_task(spec)) << label;
+    }
+    actual.run_to_completion();
+    expected.run_to_completion();
+    expect_identical(actual, expected, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, EngineDiffProbes, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace msol::core

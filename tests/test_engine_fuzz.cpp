@@ -24,14 +24,16 @@ class ChaoticScheduler : public OnlineScheduler {
   explicit ChaoticScheduler(std::uint64_t seed) : rng_(seed) {}
   std::string name() const override { return "Chaotic"; }
 
-  Decision decide(const OnePortEngine& engine) override {
+  Decision decide(const EngineView& engine) override {
     const int roll = static_cast<int>(rng_.uniform_int(0, 9));
     // A plain Defer can legitimately deadlock on a quiet system, so the
     // chaotic policy only stalls via bounded WaitUntil requests.
     if (roll <= 1) {
       return WaitUntil{engine.now() + rng_.uniform(0.01, 0.5)};
     }
-    const auto& pending = engine.pending();
+    // Assigning from an arbitrary position (not just the front) exercises
+    // the engine's indexed pending-set erase.
+    const std::vector<TaskId> pending = engine.pending_tasks();
     const std::size_t pick = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
     const SlaveId slave = static_cast<SlaveId>(

@@ -163,6 +163,44 @@ TEST(Slowdown, FactorAppliesInsideWindowOnly) {
   EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 1, 3.0), 1.0);
 }
 
+TEST(Slowdown, WindowEdgeToleranceIsSymmetric) {
+  // [2, 5) with factor 3. The closed begin boundary forgives fp noise
+  // outward (anything >= begin - eps is inside); the open end boundary is
+  // exact. The old predicate (`comp_start < end - eps`) shifted the whole
+  // window left by eps: a compute starting eps/2 *inside* the final sliver
+  // escaped the slowdown while one the same distance *before* begin caught
+  // it.
+  const std::vector<core::SlowdownWindow> windows = {{0, 2.0, 5.0, 3.0}};
+  const core::Time eps = core::kTimeEps;
+
+  // Begin boundary: tolerance reaches eps outward, no further.
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 2.0 - 2.0 * eps), 1.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 2.0 - 0.5 * eps), 3.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 2.0 + 0.5 * eps), 3.0);
+
+  // End boundary: half-open, so end itself is out — but everything strictly
+  // before it is in, including the last eps sliver the old code dropped.
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.0 - 2.0 * eps), 3.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.0 - 0.5 * eps), 3.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.0 + 0.5 * eps), 1.0);
+}
+
+TEST(Slowdown, AdjacentWindowsHandOffWithoutDoubleCounting) {
+  // Back-to-back windows on one slave: a compute starting exactly at the
+  // boundary belongs to the *later* window only.
+  const std::vector<core::SlowdownWindow> windows = {{0, 0.0, 5.0, 2.0},
+                                                     {0, 5.0, 10.0, 3.0}};
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 4.5), 2.0);
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.0), 3.0);
+  EXPECT_DOUBLE_EQ(
+      core::slowdown_factor_at(windows, 0, 5.0 - 0.5 * core::kTimeEps),
+      2.0 * 3.0);  // inside [0,5) exactly, and inside [5,10)'s begin
+                   // tolerance band — both legitimately apply
+  EXPECT_DOUBLE_EQ(core::slowdown_factor_at(windows, 0, 5.5), 3.0);
+}
+
 TEST(Slowdown, OverlappingWindowsCompound) {
   const std::vector<core::SlowdownWindow> windows = {
       {0, 0.0, 10.0, 2.0}, {0, 5.0, 10.0, 3.0}};
@@ -191,9 +229,9 @@ TEST(Slowdown, SchedulerEstimatesStayNominal) {
   class Probe : public core::OnlineScheduler {
    public:
     std::string name() const override { return "Probe"; }
-    core::Decision decide(const core::OnePortEngine& engine) override {
-      estimate = engine.completion_if_assigned(engine.pending().front(), 0);
-      return core::Assign{engine.pending().front(), 0};
+    core::Decision decide(const core::EngineView& engine) override {
+      estimate = engine.completion_if_assigned(engine.pending_front(), 0);
+      return core::Assign{engine.pending_front(), 0};
     }
     core::Time estimate = 0.0;
   } probe;

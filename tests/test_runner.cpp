@@ -7,6 +7,7 @@
 #include "runner/parallel_runner.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scenario.hpp"
+#include "util/rng.hpp"
 
 namespace msol::runner {
 namespace {
@@ -103,12 +104,51 @@ TEST(GridFormat, ParsesAllKeys) {
   EXPECT_EQ(cell_count(grid), 64u);  // 2^6: every axis has two values
 }
 
+TEST(GridFormat, ParsesSizeMixAxisAndIppKnobs) {
+  const ScenarioGrid grid = parse_grid(
+      "name = bursty\n"
+      "arrival = poisson, inhomogeneous\n"
+      "sizes = unit, pareto, lognormal\n"
+      "ipp_amplitude = 0.7\n"
+      "ipp_period_tasks = 25\n");
+  ASSERT_EQ(grid.arrivals.size(), 2u);
+  EXPECT_EQ(grid.arrivals[1], ArrivalProcess::kInhomogeneous);
+  ASSERT_EQ(grid.size_mixes.size(), 3u);
+  EXPECT_EQ(grid.size_mixes[0], experiments::TaskSizeMix::kUnit);
+  EXPECT_EQ(grid.size_mixes[1], experiments::TaskSizeMix::kPareto);
+  EXPECT_EQ(grid.size_mixes[2], experiments::TaskSizeMix::kLognormal);
+  EXPECT_DOUBLE_EQ(grid.ipp_amplitude, 0.7);
+  EXPECT_DOUBLE_EQ(grid.ipp_period_tasks, 25.0);
+  EXPECT_EQ(cell_count(grid), 6u);  // 2 arrivals x 3 size mixes
+
+  const std::vector<ScenarioSpec> cells = expand(grid);
+  // sizes is the innermost axis; the knobs reach every cell config.
+  EXPECT_EQ(cells[0].config.size_mix, experiments::TaskSizeMix::kUnit);
+  EXPECT_EQ(cells[1].config.size_mix, experiments::TaskSizeMix::kPareto);
+  EXPECT_DOUBLE_EQ(cells[0].config.ipp_amplitude, 0.7);
+  EXPECT_DOUBLE_EQ(cells[0].config.ipp_period_tasks, 25.0);
+  EXPECT_NE(cells[2].id.find("/sz-lognormal"), std::string::npos);
+}
+
+TEST(GridFormat, SizeMixAxisDoesNotShiftExistingCellSeeds) {
+  // The sizes axis was appended innermost so that grids which do not sweep
+  // it keep their historical cell indices and counter-derived seeds.
+  const ScenarioGrid grid = small_grid();
+  ASSERT_EQ(grid.size_mixes.size(), 1u);
+  const std::vector<ScenarioSpec> cells = expand(grid);
+  const util::Rng seeder(grid.seed);
+  for (const ScenarioSpec& cell : cells) {
+    EXPECT_EQ(cell.config.seed, seeder.child_seed(cell.index));
+  }
+}
+
 TEST(GridFormat, RejectsMalformedInput) {
   EXPECT_THROW(parse_grid("not a key value line\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("unknown_key = 1\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("load = fast\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("class = metal\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("arrival = never\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("sizes = metal\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("seed = 1\nseed = 2\n"), std::invalid_argument);
   EXPECT_THROW(parse_grid("load =\n"), std::invalid_argument);
 }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "core/workload.hpp"
 #include "util/rng.hpp"
 
@@ -95,6 +99,105 @@ TEST(Workload, SizeJitterRejectsBadDelta) {
   const Workload base = Workload::all_at_zero(3);
   EXPECT_THROW(base.with_size_jitter(-0.1, rng), std::invalid_argument);
   EXPECT_THROW(base.with_size_jitter(1.0, rng), std::invalid_argument);
+}
+
+TEST(Workload, InhomogeneousPoissonProducesSortedUnitTasks) {
+  util::Rng rng(5);
+  const Workload w = Workload::inhomogeneous_poisson(200, 2.0, 0.9, 10.0, rng);
+  ASSERT_EQ(w.size(), 200);
+  for (TaskId i = 0; i < w.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(w.at(i).release, w.at(i - 1).release);
+    }
+    EXPECT_DOUBLE_EQ(w.at(i).comm_factor, 1.0);
+    EXPECT_DOUBLE_EQ(w.at(i).comp_factor, 1.0);
+  }
+}
+
+TEST(Workload, InhomogeneousPoissonMeanRateMatchesBaseRate) {
+  // Thinning preserves the mean intensity: over many periods the observed
+  // rate must approach base_rate regardless of modulation depth.
+  util::Rng rng(6);
+  const int n = 4000;
+  const double base_rate = 2.0;
+  const Workload w =
+      Workload::inhomogeneous_poisson(n, base_rate, 0.9, 5.0, rng);
+  const double observed = n / w.last_release();
+  EXPECT_NEAR(observed, base_rate, 0.15 * base_rate);
+}
+
+TEST(Workload, InhomogeneousPoissonIsBurstierThanHomogeneous) {
+  // With deep modulation, arrivals bunch at the crests: the variance of
+  // inter-arrival gaps must exceed the homogeneous process's at equal mean
+  // rate (for an exponential, variance == mean^2; crests/troughs push the
+  // index of dispersion above 1).
+  util::Rng rng(7);
+  const int n = 4000;
+  auto gap_stats = [](const Workload& w) {
+    double mean = 0.0, var = 0.0;
+    const int gaps = w.size() - 1;
+    for (TaskId i = 1; i < w.size(); ++i) {
+      mean += w.at(i).release - w.at(i - 1).release;
+    }
+    mean /= gaps;
+    for (TaskId i = 1; i < w.size(); ++i) {
+      const double d = (w.at(i).release - w.at(i - 1).release) - mean;
+      var += d * d;
+    }
+    return std::pair<double, double>(mean, var / gaps);
+  };
+  const auto [hom_mean, hom_var] =
+      gap_stats(Workload::poisson(n, 2.0, rng));
+  const auto [ipp_mean, ipp_var] =
+      gap_stats(Workload::inhomogeneous_poisson(n, 2.0, 1.0, 20.0, rng));
+  EXPECT_GT(ipp_var / (ipp_mean * ipp_mean),
+            1.2 * hom_var / (hom_mean * hom_mean));
+}
+
+TEST(Workload, InhomogeneousPoissonRejectsBadParameters) {
+  util::Rng rng(8);
+  EXPECT_THROW(Workload::inhomogeneous_poisson(10, 0.0, 0.5, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Workload::inhomogeneous_poisson(10, 1.0, -0.1, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Workload::inhomogeneous_poisson(10, 1.0, 1.5, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Workload::inhomogeneous_poisson(10, 1.0, 0.5, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, ParetoSizesAreHeavyTailedUnitMeanAndCapped) {
+  util::Rng rng(9);
+  const double alpha = 1.5, cap = 20.0;
+  const Workload w =
+      Workload::all_at_zero(5000).with_pareto_sizes(alpha, cap, rng);
+  // Support after truncation + exact-unit-mean renormalization:
+  // [x_m, cap] / E[min(X, cap)].
+  const double x_m = (alpha - 1.0) / alpha;
+  const double truncated_mean =
+      x_m / (alpha - 1.0) * (alpha - std::pow(x_m / cap, alpha - 1.0));
+  double mean = 0.0, largest = 0.0;
+  for (TaskId i = 0; i < w.size(); ++i) {
+    // Shipping and compute scale together: one payload, one size.
+    EXPECT_DOUBLE_EQ(w.at(i).comm_factor, w.at(i).comp_factor);
+    EXPECT_GE(w.at(i).comp_factor, x_m / truncated_mean - 1e-12);
+    EXPECT_LE(w.at(i).comp_factor, cap / truncated_mean + 1e-12);
+    mean += w.at(i).comp_factor;
+    largest = std::max(largest, w.at(i).comp_factor);
+  }
+  mean /= w.size();
+  // Exactly unit-mean in expectation — the campaign's load calibration
+  // relies on it — so only sampling noise separates the empirical mean
+  // from 1.
+  EXPECT_NEAR(mean, 1.0, 0.06);
+  EXPECT_GT(largest, 5.0);  // the tail actually reaches far out
+}
+
+TEST(Workload, ParetoSizesRejectBadParameters) {
+  util::Rng rng(10);
+  const Workload w = Workload::all_at_zero(3);
+  EXPECT_THROW(w.with_pareto_sizes(1.0, 20.0, rng), std::invalid_argument);
+  EXPECT_THROW(w.with_pareto_sizes(1.5, 0.5, rng), std::invalid_argument);
 }
 
 TEST(Workload, AtRejectsOutOfRange) {
