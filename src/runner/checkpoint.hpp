@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/parallel_runner.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/scenario.hpp"
+
+namespace msol::runner {
+
+/// Crash-safe checkpointing for grid runs.
+///
+/// A *manifest* sits next to a run's output files and records, one line per
+/// cell, which cells are fully durable on disk:
+///
+///   # msol-manifest v1 seed=2006 cells=24 shards=3 shard-index=1 config=... grid=fig1
+///   cell 1 7
+///   cell 4 7
+///   ...
+///
+/// The header line pins the run's identity (grid name + seed, full-grid
+/// cell count, shard assignment); `cell <index> <records>` lines are
+/// appended and flushed by a ManifestSink *after* the data sinks flushed
+/// that cell's rows, so a line's presence guarantees the rows' presence.
+/// Because the runner emits in ascending cell order, the committed set is
+/// always a prefix of the (shard's) cell sequence, and anything after it in
+/// a CSV/JSONL file — rows of a cell whose manifest line never landed, or a
+/// torn final line from a kill — is safe to truncate and recompute.
+///
+/// The durability point is the OS (streams are flushed per cell, not
+/// fsync'd): output survives a process kill, not a machine crash.
+///
+/// Together these give the resume/shard guarantee msol_run exposes: a run
+/// that is killed and resumed, or split into K shards and merged, produces
+/// output byte-identical to one uninterrupted single-process run.
+
+/// Identity of a (possibly sharded) grid run; serialized as the manifest
+/// header line. Resume requires byte-equality of the header, so a manifest
+/// can never silently resume a different grid, seed, shard assignment — or
+/// (via config_hash) a grid file whose axes were edited in place.
+struct ManifestInfo {
+  std::string grid_name;
+  std::uint64_t grid_seed = 0;
+  std::size_t total_cells = 0;  ///< full-grid cell count (across all shards)
+  std::size_t shards = 1;
+  std::size_t shard_index = 0;
+  std::uint64_t config_hash = 0;  ///< grid_config_hash() of the full grid
+};
+
+/// FNV-1a hash of the grid's canonical serialization (serialize_grid), so
+/// the manifest header pins the *contents* of the grid, not just its name,
+/// seed, and cell count.
+std::uint64_t grid_config_hash(const ScenarioGrid& grid);
+
+/// The manifest's header line (no trailing newline).
+std::string manifest_header(const ManifestInfo& info);
+
+struct ManifestData {
+  std::string header;  ///< first line, without the newline
+  /// Committed cells: full-grid cell index -> records emitted for it.
+  std::map<std::size_t, std::size_t> completed;
+  /// Bytes up to the end of the last well-formed line: a resume truncates
+  /// the file here before appending, so a torn tail line from a kill can
+  /// never fuse with the first freshly appended line.
+  std::size_t valid_bytes = 0;
+};
+
+/// Reads a manifest. A torn final line (kill mid-append) is discarded, as
+/// is anything after the first malformed line; the affected cells simply
+/// rerun on resume. Throws std::runtime_error if the file is unreadable or
+/// lacks a complete header line.
+ManifestData load_manifest(const std::string& path);
+
+enum class OutputKind { kCsv, kJsonl };
+
+struct RepairResult {
+  std::size_t kept_bytes = 0;
+  std::size_t kept_rows = 0;
+  std::size_t dropped_rows = 0;  ///< uncommitted, torn, or unparsable tail
+  bool header_present = false;   ///< CSV: the canonical header line survives
+  /// Kept rows per cell index; resume cross-checks this against the
+  /// manifest's per-cell record counts, catching an output file that was
+  /// deleted or externally truncated while the manifest survived.
+  std::map<std::size_t, std::size_t> rows_per_cell;
+};
+
+/// Truncates an output file to its committed prefix before reopening it in
+/// append mode: keeps rows (in file order) while their cell index is in
+/// `committed`, then cuts at the first uncommitted row, unparsable line, or
+/// torn final line. A missing file is not an error (nothing kept).
+RepairResult repair_output(const std::string& path, OutputKind kind,
+                           const std::map<std::size_t, std::size_t>& committed);
+
+struct MergeStats {
+  std::size_t rows = 0;
+  std::size_t cells = 0;
+};
+
+/// Interleaves per-shard output files back into canonical single-shot
+/// order: rows are copied verbatim, ordered by ascending cell index with
+/// within-file order preserved, so the merged bytes equal an uninterrupted
+/// unsharded run's. For CSV the inputs' header lines must be identical and
+/// are written once. Throws std::runtime_error on unreadable/torn inputs,
+/// on a cell index appearing in more than one input (overlapping shards),
+/// and on out-of-order rows within an input.
+MergeStats merge_outputs(OutputKind kind,
+                         const std::vector<std::string>& inputs,
+                         std::ostream& out);
+
+/// As above, writing to a file path. The merged bytes are buffered and the
+/// output is written only after the merge succeeds (no half-written file on
+/// error), and an output path that is also an input is rejected instead of
+/// being truncated and read back empty (the `merge --jsonl out.jsonl
+/// *.jsonl` re-run footgun).
+MergeStats merge_outputs_to_file(OutputKind kind,
+                                 const std::vector<std::string>& inputs,
+                                 const std::string& out_path);
+
+/// One checkpointed (and optionally sharded / resumed) grid execution —
+/// the library form of what `msol_run` does, so tests can drive the whole
+/// kill/resume/merge cycle in-process.
+struct CheckpointOptions {
+  std::string csv_path;       ///< empty = no CSV file sink
+  std::string jsonl_path;     ///< empty = no JSONL file sink
+  std::string manifest_path;  ///< required
+  bool resume = false;        ///< skip manifest-committed cells, append
+  std::size_t shards = 1;
+  std::size_t shard_index = 0;
+  /// threads/progress pass through; `skip` is overwritten from the
+  /// manifest on resume.
+  RunnerOptions runner;
+  /// Additional caller-owned sinks (e.g. a stdout stream). They sit after
+  /// the file sinks and before the manifest, but are not repaired or
+  /// deduplicated on resume: they only see the cells that actually run.
+  std::vector<ResultSink*> extra_sinks;
+};
+
+/// Expands + shards the grid, validates/loads the manifest when resuming,
+/// repairs and reopens the output files in append mode, and runs the
+/// remaining cells with a trailing ManifestSink committing each cell.
+/// Throws std::runtime_error if resuming and the manifest is missing or
+/// does not match this grid/shard identity. An existing manifest whose
+/// header line never completed (kill before the header flush) provably
+/// committed nothing and is rewritten fresh rather than rejected.
+RunReport run_checkpointed(const ScenarioGrid& grid,
+                           const CheckpointOptions& options);
+
+}  // namespace msol::runner

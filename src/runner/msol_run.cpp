@@ -1,13 +1,23 @@
 // msol_run — scenario-grid driver.
 //
 //   msol_run <grid-file> [--threads N] [--csv out.csv] [--jsonl out.jsonl]
+//            [--shards K --shard-index I] [--resume] [--manifest FILE]
 //            [--dry-run] [--print-grid] [--quiet]
+//   msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...
 //
 // Loads a declarative scenario grid (see src/runner/scenario.hpp for the
 // format), executes every cell on a worker pool, and writes one record per
 // (cell, algorithm) to the requested sinks. Output is bit-identical for any
 // --threads value; per-cell seeds come from the grid seed by counter-based
 // mixing, so any cell can be reproduced standalone from its cell_seed.
+//
+// File-backed runs are checkpointed: a manifest next to the output records
+// each completed cell, `--resume` skips the committed cells and appends,
+// `--shards K --shard-index I` runs the deterministic 1/K slice with cell
+// indices and seeds untouched, and `msol_run merge` interleaves per-shard
+// outputs back into canonical order. Killed+resumed and sharded+merged
+// runs are byte-identical to an uninterrupted single-process run (see
+// src/runner/checkpoint.hpp).
 
 #include <fstream>
 #include <iostream>
@@ -16,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/checkpoint.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scenario.hpp"
@@ -25,19 +36,63 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: msol_run <grid-file> [--threads N] [--csv FILE] [--jsonl FILE]\n"
-    "                [--dry-run] [--print-grid] [--quiet]\n"
+    "                [--shards K --shard-index I] [--resume]\n"
+    "                [--manifest FILE] [--dry-run] [--print-grid] [--quiet]\n"
+    "       msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...\n"
     "\n"
-    "  --threads N     worker threads (default 1; 0 = all hardware threads)\n"
-    "  --csv FILE      write one CSV row per (cell, algorithm); '-' = stdout\n"
-    "  --jsonl FILE    write one JSON object per line; '-' = stdout\n"
-    "  --dry-run       list the expanded cells and exit without running\n"
-    "  --print-grid    echo the parsed grid in canonical form\n"
-    "  --quiet         suppress the progress line\n";
+    "  --threads N       worker threads (default 1; 0 = all hardware threads)\n"
+    "  --csv FILE        write one CSV row per (cell, algorithm); '-' = stdout\n"
+    "  --jsonl FILE      write one JSON object per line; '-' = stdout\n"
+    "  --shards K        split the grid across K independent runs\n"
+    "  --shard-index I   which 1/K slice this run executes (0-based)\n"
+    "  --resume          skip cells committed in the manifest, append output\n"
+    "  --manifest FILE   completion manifest path (default: first file\n"
+    "                    output + '.manifest')\n"
+    "  --dry-run         list the expanded cells and exit without running\n"
+    "  --print-grid      echo the parsed grid in canonical form\n"
+    "  --quiet           suppress the progress line\n"
+    "\n"
+    "  merge             interleave per-shard outputs back into canonical\n"
+    "                    single-run order (byte-identical to unsharded)\n";
 
-const std::set<std::string> kValueKeys = {"threads", "csv", "jsonl"};
-const std::set<std::string> kKnownKeys = {"threads", "csv",   "jsonl",
-                                          "dry-run", "print-grid", "quiet",
-                                          "help"};
+const std::set<std::string> kValueKeys = {"threads", "csv", "jsonl", "shards",
+                                          "shard-index", "manifest"};
+const std::set<std::string> kKnownKeys = {
+    "threads", "csv",        "jsonl",    "shards", "shard-index", "manifest",
+    "resume",  "dry-run",    "print-grid", "quiet", "help"};
+
+int run_merge(const msol::util::Cli& cli) {
+  using namespace msol;
+  const bool has_csv = cli.has("csv");
+  const bool has_jsonl = cli.has("jsonl");
+  if (has_csv == has_jsonl) {
+    std::cerr << "msol_run merge: exactly one of --csv/--jsonl names the "
+                 "merged output\n"
+              << kUsage;
+    return 2;
+  }
+  const std::vector<std::string> inputs(cli.positional().begin() + 1,
+                                        cli.positional().end());
+  if (inputs.empty()) {
+    std::cerr << "msol_run merge: no shard output files given\n" << kUsage;
+    return 2;
+  }
+  const runner::OutputKind kind =
+      has_csv ? runner::OutputKind::kCsv : runner::OutputKind::kJsonl;
+  const std::string out_path = cli.get(has_csv ? "csv" : "jsonl", "-");
+
+  runner::MergeStats stats;
+  if (out_path == "-") {
+    stats = runner::merge_outputs(kind, inputs, std::cout);
+  } else {
+    stats = runner::merge_outputs_to_file(kind, inputs, out_path);
+  }
+  if (!cli.has("quiet")) {
+    std::cerr << "merged " << stats.rows << " rows (" << stats.cells
+              << " cells) from " << inputs.size() << " shard files\n";
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -56,72 +111,108 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    if (!cli.positional().empty() && cli.positional()[0] == "merge") {
+      return run_merge(cli);
+    }
     if (cli.positional().size() != 1) {
       std::cerr << kUsage;
       return 2;
     }
 
     const runner::ScenarioGrid grid = runner::load_grid(cli.positional()[0]);
-    const std::vector<runner::ScenarioSpec> cells = runner::expand(grid);
     const bool quiet = cli.has("quiet");
+    const std::size_t shards = cli.get_uint64("shards", 1);
+    const std::size_t shard_index = cli.get_uint64("shard-index", 0);
+    if (shards == 0 || shard_index >= shards) {
+      throw std::runtime_error("--shard-index must be < --shards (>= 1)");
+    }
 
     if (cli.has("print-grid")) std::cout << runner::serialize_grid(grid);
     if (cli.has("dry-run")) {
+      const std::vector<runner::ScenarioSpec> cells =
+          runner::shard_cells(runner::expand(grid), shards, shard_index);
       for (const runner::ScenarioSpec& cell : cells) {
         std::cout << cell.index << "  seed=" << cell.config.seed << "  "
                   << cell.id << "\n";
       }
-      std::cout << cells.size() << " cells\n";
+      std::cout << cells.size() << " cells";
+      if (shards > 1) {
+        std::cout << " (shard " << shard_index << "/" << shards << ")";
+      }
+      std::cout << "\n";
       return 0;
     }
 
-    // Sinks: '-' streams to stdout; files are truncated up front so a
-    // failed run does not leave a previous run's output behind.
-    std::vector<std::unique_ptr<runner::ResultSink>> owned;
-    std::vector<std::ofstream> files;
-    files.reserve(2);  // stable addresses for the sinks' ostream refs
-    bool stdout_taken = false;
-    const auto open_sink = [&](const std::string& path) -> std::ostream& {
-      if (path == "-") {
-        if (stdout_taken) {
-          throw std::runtime_error(
-              "only one of --csv/--jsonl can stream to stdout");
-        }
-        stdout_taken = true;
-        return std::cout;
-      }
-      files.emplace_back(path, std::ios::trunc);
-      if (!files.back()) {
-        throw std::runtime_error("cannot write '" + path + "'");
-      }
-      return files.back();
-    };
-    if (cli.has("csv")) {
-      owned.push_back(
-          std::make_unique<runner::CsvSink>(open_sink(cli.get("csv", "-"))));
+    const std::string csv = cli.get("csv", "");
+    const std::string jsonl = cli.get("jsonl", "");
+    const std::string csv_file = (cli.has("csv") && csv != "-") ? csv : "";
+    const std::string jsonl_file =
+        (cli.has("jsonl") && jsonl != "-") ? jsonl : "";
+    if (csv == "-" && jsonl == "-") {
+      throw std::runtime_error("only one of --csv/--jsonl can stream to stdout");
     }
-    if (cli.has("jsonl")) {
-      owned.push_back(std::make_unique<runner::JsonLinesSink>(
-          open_sink(cli.get("jsonl", "-"))));
-    }
-    std::vector<runner::ResultSink*> sinks;
-    for (const auto& sink : owned) sinks.push_back(sink.get());
 
-    runner::RunnerOptions options;
-    options.threads = static_cast<int>(cli.get_int("threads", 1));
+    // Manifest path: explicit flag, else derived from the first file
+    // output. Runs with only stdout (or no) sinks have nothing durable to
+    // checkpoint and fall through to a plain run.
+    std::string manifest = cli.get("manifest", "");
+    if (manifest.empty()) {
+      if (!csv_file.empty()) {
+        manifest = csv_file + ".manifest";
+      } else if (!jsonl_file.empty()) {
+        manifest = jsonl_file + ".manifest";
+      }
+    }
+    if (cli.has("resume") && manifest.empty()) {
+      throw std::runtime_error(
+          "--resume needs file output (--csv/--jsonl FILE) or --manifest");
+    }
+
+    runner::RunnerOptions runner_options;
+    runner_options.threads = static_cast<int>(cli.get_int("threads", 1));
     if (!quiet) {
-      options.progress = [&](std::size_t done, std::size_t total) {
+      runner_options.progress = [&](std::size_t done, std::size_t total) {
         std::cerr << "\r" << grid.name << ": " << done << "/" << total
                   << " cells" << (done == total ? "\n" : "") << std::flush;
       };
     }
 
-    runner::ParallelRunner runner_(options);
-    const runner::RunReport report = runner_.run_cells(cells, sinks);
+    runner::RunReport report;
+    // Stdout sinks are not checkpointable (nothing to repair/append), so
+    // they ride along as extra sinks on the checkpointed path.
+    std::unique_ptr<runner::ResultSink> stdout_sink;
+    if (csv == "-") stdout_sink = std::make_unique<runner::CsvSink>(std::cout);
+    if (jsonl == "-") {
+      stdout_sink = std::make_unique<runner::JsonLinesSink>(std::cout);
+    }
+
+    if (!manifest.empty()) {
+      runner::CheckpointOptions options;
+      options.csv_path = csv_file;
+      options.jsonl_path = jsonl_file;
+      options.manifest_path = manifest;
+      options.resume = cli.has("resume");
+      options.shards = shards;
+      options.shard_index = shard_index;
+      options.runner = runner_options;
+      if (stdout_sink) options.extra_sinks.push_back(stdout_sink.get());
+      report = runner::run_checkpointed(grid, options);
+    } else {
+      std::vector<runner::ResultSink*> sinks;
+      if (stdout_sink) sinks.push_back(stdout_sink.get());
+      runner::ParallelRunner runner_(runner_options);
+      report = runner_.run_cells(
+          runner::shard_cells(runner::expand(grid), shards, shard_index),
+          sinks);
+    }
 
     if (!quiet) {
-      std::cerr << report.cells << " cells, " << report.records
-                << " records in " << report.wall_seconds << "s ("
+      std::cerr << report.cells << " cells";
+      if (report.skipped > 0) {
+        std::cerr << " (" << report.skipped << " resumed)";
+      }
+      std::cerr << ", " << report.records << " records in "
+                << report.wall_seconds << "s ("
                 << (report.wall_seconds > 0.0
                         ? report.cells / report.wall_seconds
                         : 0.0)

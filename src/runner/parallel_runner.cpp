@@ -58,6 +58,18 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
   // so peak memory is bounded by the completion skew, not the grid size.
   std::vector<std::unique_ptr<experiments::CampaignResult>> pending(total);
 
+  // Cells already durable from a previous run (resume): never executed,
+  // never re-emitted, but the emission cursor must pass over them so the
+  // cells that do run still stream in ascending order.
+  std::vector<char> skip_mask(total, 0);
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (options_.skip.count(cells[i].index) > 0) {
+      skip_mask[i] = 1;
+      ++skipped;
+    }
+  }
+
   std::atomic<std::size_t> next_cell{0};
   std::atomic<bool> abort{false};
   std::mutex emit_mutex;  // guards pending, next_emit, sinks, progress
@@ -66,30 +78,50 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
   std::size_t records = 0;
   std::exception_ptr first_error;
 
+  // Flushes the contiguous run of ready cells in index order (caller holds
+  // emit_mutex); whichever worker completes the gap cell drains the backlog.
+  const auto drain = [&]() {
+    while (next_emit < total &&
+           (skip_mask[next_emit] || pending[next_emit] != nullptr)) {
+      if (!skip_mask[next_emit]) {
+        std::size_t cell_records = 0;
+        for (const experiments::AlgorithmResult& algorithm :
+             pending[next_emit]->algorithms) {
+          const ResultRecord record = make_record(cells[next_emit], algorithm);
+          for (ResultSink* sink : sinks) sink->consume(record);
+          ++records;
+          ++cell_records;
+        }
+        // Durable-commit point: data sinks flush, then a trailing
+        // ManifestSink records the cell as complete.
+        for (ResultSink* sink : sinks) {
+          sink->cell_complete(cells[next_emit].index, cell_records);
+        }
+        pending[next_emit].reset();
+      }
+      ++next_emit;
+    }
+  };
+
   const auto worker = [&]() {
     while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t i = next_cell.fetch_add(1);
       if (i >= total) break;
       try {
+        if (skip_mask[i]) {
+          std::lock_guard<std::mutex> lock(emit_mutex);
+          ++completed;
+          drain();
+          if (options_.progress) options_.progress(completed, total);
+          continue;
+        }
         auto result = std::make_unique<experiments::CampaignResult>(
             experiments::run_campaign(cells[i].config));
 
         std::lock_guard<std::mutex> lock(emit_mutex);
         pending[i] = std::move(result);
         ++completed;
-        // Flush the contiguous run of ready cells in index order; whichever
-        // worker completes the gap cell drains the backlog.
-        while (next_emit < total && pending[next_emit] != nullptr) {
-          for (const experiments::AlgorithmResult& algorithm :
-               pending[next_emit]->algorithms) {
-            const ResultRecord record =
-                make_record(cells[next_emit], algorithm);
-            for (ResultSink* sink : sinks) sink->consume(record);
-            ++records;
-          }
-          pending[next_emit].reset();
-          ++next_emit;
-        }
+        drain();
         if (options_.progress) options_.progress(completed, total);
       } catch (...) {
         std::lock_guard<std::mutex> lock(emit_mutex);
@@ -108,12 +140,25 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
     for (std::thread& thread : pool) thread.join();
   }
 
+  // Close sinks on the error path too: the in-order prefix emitted before
+  // the failure is flushed to disk and — together with the manifest — is
+  // precisely where a --resume run picks up. Rethrowing first used to leave
+  // CSV/JSONL files truncated at the stream buffer boundary. A close()
+  // failure (e.g. flush hitting a full disk) becomes the run's error only
+  // when no cell failure beat it to it — the first error always wins.
+  for (ResultSink* sink : sinks) {
+    try {
+      sink->close();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
-  for (ResultSink* sink : sinks) sink->close();
 
   RunReport report;
   report.cells = total;
   report.records = records;
+  report.skipped = skipped;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

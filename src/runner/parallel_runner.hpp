@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "runner/result_sink.hpp"
@@ -15,12 +16,19 @@ struct RunnerOptions {
   /// Optional progress callback, invoked (under the emission lock, so calls
   /// never interleave) after each cell completes: (completed, total).
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Cells whose ScenarioSpec::index appears here are neither run nor
+  /// re-emitted: their records are already durable from a previous run
+  /// (they sit in the committed prefix of the reopened output files, per
+  /// the resume manifest — see checkpoint.hpp). The emission cursor passes
+  /// over them so the remaining cells still stream in ascending order.
+  std::unordered_set<std::size_t> skip;
 };
 
 /// Outcome of one grid run.
 struct RunReport {
   std::size_t cells = 0;
   std::size_t records = 0;  ///< (cell, algorithm) rows delivered to sinks
+  std::size_t skipped = 0;  ///< cells bypassed via RunnerOptions::skip
   double wall_seconds = 0.0;
 };
 
@@ -38,9 +46,13 @@ class ParallelRunner {
   explicit ParallelRunner(RunnerOptions options = {});
 
   /// Expands and runs the grid. Sinks receive records from one thread at a
-  /// time, in deterministic order; close() is called on each sink at the
-  /// end. The first cell failure (e.g. schedule validation error) is
-  /// rethrown on the calling thread after the pool drains.
+  /// time, in deterministic order; after a cell's last record each sink's
+  /// cell_complete() fires in vector order (so a ManifestSink placed last
+  /// commits only after the data sinks flushed). The first cell failure
+  /// (e.g. schedule validation error) is rethrown on the calling thread
+  /// after the pool drains — but close() runs on every sink first, so the
+  /// already-emitted prefix is flushed and, together with the manifest, is
+  /// exactly the resume point.
   RunReport run(const ScenarioGrid& grid, std::vector<ResultSink*> sinks);
 
   /// Runs pre-expanded cells (the grid-file path goes through run()).

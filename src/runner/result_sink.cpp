@@ -1,7 +1,9 @@
 #include "runner/result_sink.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <ostream>
+#include <stdexcept>
 
 #include "util/table.hpp"
 
@@ -10,7 +12,7 @@ namespace msol::runner {
 namespace {
 
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char c : cell) {
     if (c == '"') out += '"';
@@ -30,7 +32,19 @@ std::string json_escape(const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // Remaining control characters have no short escape; emitting them
+        // raw would make the line invalid JSON.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -59,6 +73,17 @@ const util::Summary* metric_summaries(const experiments::AlgorithmResult& r,
   return out[0];
 }
 
+/// Durable-commit flush: a silent badbit here (disk full, I/O error) would
+/// let a trailing ManifestSink record the cell as durable when its rows
+/// never reached the disk, so a failed flush must abort the run instead.
+void flush_checked(std::ostream& out) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error(
+        "result sink: write/flush failed (disk full or I/O error)");
+  }
+}
+
 void append_json_array(std::string& out, const std::vector<double>& values) {
   out += '[';
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -72,7 +97,8 @@ void append_json_array(std::string& out, const std::vector<double>& values) {
 
 // ------------------------------------------------------------------- CSV ----
 
-CsvSink::CsvSink(std::ostream& out) : out_(out) {}
+CsvSink::CsvSink(std::ostream& out, bool header_written)
+    : out_(out), wrote_header_(header_written) {}
 
 std::string CsvSink::header() {
   std::string h =
@@ -125,12 +151,16 @@ void CsvSink::consume(const ResultRecord& record) {
   out_ << to_csv_row(record) << '\n';
 }
 
+void CsvSink::cell_complete(std::size_t, std::size_t) {
+  flush_checked(out_);
+}
+
 void CsvSink::close() {
   if (!wrote_header_) {  // empty grid still yields a valid CSV
     out_ << header() << '\n';
     wrote_header_ = true;
   }
-  out_.flush();
+  flush_checked(out_);
 }
 
 // ------------------------------------------------------------ JSON lines ----
@@ -184,7 +214,32 @@ void JsonLinesSink::consume(const ResultRecord& record) {
   out_ << to_json(record) << '\n';
 }
 
-void JsonLinesSink::close() { out_.flush(); }
+void JsonLinesSink::cell_complete(std::size_t, std::size_t) {
+  flush_checked(out_);
+}
+
+void JsonLinesSink::close() { flush_checked(out_); }
+
+// -------------------------------------------------------------- manifest ----
+
+ManifestSink::ManifestSink(std::ostream& out) : out_(out) {}
+
+void ManifestSink::consume(const ResultRecord&) {}
+
+std::string ManifestSink::cell_line(std::size_t cell_index,
+                                    std::size_t records) {
+  return "cell " + std::to_string(cell_index) + " " + std::to_string(records);
+}
+
+void ManifestSink::cell_complete(std::size_t cell_index, std::size_t records) {
+  // One short line per cell, flushed immediately: a kill mid-write leaves at
+  // worst a torn final line, which load_manifest() discards — the cell then
+  // simply reruns on resume.
+  out_ << cell_line(cell_index, records) << '\n';
+  flush_checked(out_);
+}
+
+void ManifestSink::close() { flush_checked(out_); }
 
 // ---------------------------------------------------------------- memory ----
 

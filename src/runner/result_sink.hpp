@@ -36,7 +36,18 @@ class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void consume(const ResultRecord& record) = 0;
-  /// Called once after the last record; flush buffers here.
+  /// Durable-commit hook: called once per cell, after every record of the
+  /// cell with ScenarioSpec::index `cell_index` has been consumed (and in
+  /// the same deterministic order). File-backed sinks flush here so that a
+  /// process kill never loses a cell the manifest claims is complete; the
+  /// runner invokes sinks in vector order, so placing a ManifestSink last
+  /// commits the manifest line only after the data sinks are flushed.
+  virtual void cell_complete(std::size_t cell_index, std::size_t records) {
+    (void)cell_index;
+    (void)records;
+  }
+  /// Called once after the last record — also on the error path, so a
+  /// failed run still leaves flushed (partial) output behind; flush here.
   virtual void close() {}
 };
 
@@ -45,8 +56,11 @@ class ResultSink {
 /// produce equal text.
 class CsvSink : public ResultSink {
  public:
-  explicit CsvSink(std::ostream& out);
+  /// `header_written` = true re-opens an existing output in append mode
+  /// (resume): the header is already on disk and must not be duplicated.
+  explicit CsvSink(std::ostream& out, bool header_written = false);
   void consume(const ResultRecord& record) override;
+  void cell_complete(std::size_t cell_index, std::size_t records) override;
   void close() override;
 
   static std::string header();
@@ -63,9 +77,30 @@ class JsonLinesSink : public ResultSink {
  public:
   explicit JsonLinesSink(std::ostream& out);
   void consume(const ResultRecord& record) override;
+  void cell_complete(std::size_t cell_index, std::size_t records) override;
   void close() override;
 
   static std::string to_json(const ResultRecord& record);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Crash-safe completion manifest: one `cell <index> <records>` line per
+/// completed cell, appended and flushed from cell_complete() so the line
+/// becomes durable only after every data sink ordered before this one has
+/// flushed the cell's rows. consume() is a no-op — the manifest tracks
+/// cells, not records. See checkpoint.hpp for the file format, the header
+/// line, and the loader that tolerates a torn tail line after a kill.
+class ManifestSink : public ResultSink {
+ public:
+  explicit ManifestSink(std::ostream& out);
+  void consume(const ResultRecord& record) override;
+  void cell_complete(std::size_t cell_index, std::size_t records) override;
+  void close() override;
+
+  /// The manifest line for one completed cell (no trailing newline).
+  static std::string cell_line(std::size_t cell_index, std::size_t records);
 
  private:
   std::ostream& out_;

@@ -166,6 +166,26 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
   return cells;
 }
 
+std::vector<ScenarioSpec> shard_cells(std::vector<ScenarioSpec> cells,
+                                      std::size_t shards,
+                                      std::size_t shard_index) {
+  if (shards == 0) {
+    throw std::invalid_argument("shard_cells: shards must be >= 1");
+  }
+  if (shard_index >= shards) {
+    throw std::invalid_argument(
+        "shard_cells: shard index " + std::to_string(shard_index) +
+        " out of range for " + std::to_string(shards) + " shards");
+  }
+  if (shards == 1) return cells;
+  std::vector<ScenarioSpec> mine;
+  mine.reserve(cells.size() / shards + 1);
+  for (ScenarioSpec& cell : cells) {
+    if (cell.index % shards == shard_index) mine.push_back(std::move(cell));
+  }
+  return mine;
+}
+
 ScenarioGrid parse_grid(const std::string& text) {
   ScenarioGrid grid;
   std::set<std::string> seen;

@@ -68,6 +68,18 @@ std::size_t cell_count(const ScenarioGrid& grid);
 /// axis is empty.
 std::vector<ScenarioSpec> expand(const ScenarioGrid& grid);
 
+/// Selects the cells assigned to shard `shard_index` of `shards` by stable
+/// modulo assignment on the expanded cell index (cell i goes to shard
+/// i % shards), preserving expansion order. Indices and seeds are
+/// untouched — they stay the full-grid values, so a sharded run's rows are
+/// byte-identical to the same cells' rows in a single-shot run and the K
+/// shard outputs interleave back into canonical order (see
+/// checkpoint.hpp's merge_outputs). Throws std::invalid_argument if
+/// shards == 0 or shard_index >= shards.
+std::vector<ScenarioSpec> shard_cells(std::vector<ScenarioSpec> cells,
+                                      std::size_t shards,
+                                      std::size_t shard_index);
+
 /// Parses the grid text format:
 ///
 ///   # comment

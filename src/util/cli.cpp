@@ -49,6 +49,28 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   }
 }
 
+std::uint64_t Cli::get_uint64(const std::string& key,
+                              std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  // stoull silently wraps negatives ("-1" -> 2^64-1), so reject them first.
+  if (it->second.empty() || it->second[0] == '-') {
+    throw std::invalid_argument("--" + key +
+                                " expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key +
+                                " expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+}
+
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

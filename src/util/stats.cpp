@@ -26,9 +26,24 @@ Summary summarize(const std::vector<double>& values) {
     double ss = 0.0;
     for (double v : values) ss += (v - s.mean) * (v - s.mean);
     s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
-    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(n));
+    s.ci95_half_width =
+        t_critical_95(n - 1) * s.stddev / std::sqrt(static_cast<double>(n));
   }
   return s;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided alpha = 0.05 critical values, df = 1..30.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
 }
 
 double mean(const std::vector<double>& values) {

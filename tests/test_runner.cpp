@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -297,6 +299,120 @@ TEST(Sinks, JsonLinesLookLikeObjects) {
     ++count;
   }
   EXPECT_EQ(count, 2u);
+}
+
+/// A record with every field that reaches a sink set to something hostile:
+/// separators, quotes, newlines, raw control characters, non-finite metrics.
+ResultRecord hostile_record() {
+  ResultRecord record;
+  record.cell_index = 3;
+  record.cell_id = "id,with \"quotes\"\nthen\rbreaks\x01\x1f";
+  record.cell_seed = 42;
+  record.result.name = "alg,\"\t\x02";
+  record.result.makespan.mean = std::nan("");
+  record.result.makespan.stddev = std::numeric_limits<double>::infinity();
+  record.result.makespan.min = -std::numeric_limits<double>::infinity();
+  record.result.makespan_raw = {1.0, std::nan(""),
+                                std::numeric_limits<double>::infinity()};
+  return record;
+}
+
+/// Minimal JSON string unescape, enough to round-trip what json_escape
+/// emits (the short escapes plus \u00XX).
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: out += s[i];  // \" and \\ and anything else verbatim
+    }
+  }
+  return out;
+}
+
+TEST(Sinks, JsonEscapesControlCharactersAndRoundTrips) {
+  const ResultRecord record = hostile_record();
+  const std::string json = JsonLinesSink::to_json(record);
+
+  // No raw control character may survive into the emitted line.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character in JSONL output";
+  }
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+
+  // The escaped cell_id round-trips to the original bytes.
+  const std::string key = "\"cell_id\":\"";
+  const std::size_t begin = json.find(key) + key.size();
+  std::size_t end = begin;
+  while (json[end] != '"' || json[end - 1] == '\\') ++end;
+  EXPECT_EQ(json_unescape(json.substr(begin, end - begin)), record.cell_id);
+}
+
+TEST(Sinks, JsonEmitsNullForNonFiniteMetrics) {
+  const std::string json = JsonLinesSink::to_json(hostile_record());
+  EXPECT_NE(json.find("\"mean\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"stddev\":null"), std::string::npos);
+  EXPECT_NE(json.find(",null,null]"), std::string::npos);  // raw series
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Sinks, CsvQuotesSeparatorsQuotesAndLineBreaks) {
+  const std::string row = CsvSink::to_csv_row(hostile_record());
+  // The hostile cell_id must arrive as one quoted field with doubled
+  // quotes, i.e. splitting on unquoted commas still yields the id intact.
+  EXPECT_NE(row.find("\"id,with \"\"quotes\"\"\nthen\rbreaks"),
+            std::string::npos);
+  EXPECT_NE(row.find("\"alg,\"\"\t"), std::string::npos);
+}
+
+TEST(Sinks, ErrorPathStillClosesSinks) {
+  struct ObservingSink : ResultSink {
+    bool closed = false;
+    void consume(const ResultRecord&) override {}
+    void close() override { closed = true; }
+  };
+  ScenarioGrid grid = small_grid();
+  grid.algorithms = {"NO-SUCH-ALGORITHM"};
+  ObservingSink sink;
+  EXPECT_THROW(ParallelRunner().run(grid, {&sink}), std::invalid_argument);
+  EXPECT_TRUE(sink.closed);  // partial output is flushed, not stranded
+}
+
+TEST(ParallelRunner, SkipSetBypassesCellsButKeepsEmissionOrder) {
+  const ScenarioGrid grid = small_grid();
+  RunnerOptions options;
+  options.threads = 4;
+  options.skip = {0, 3, 7};
+  MemorySink memory;
+  const RunReport report = ParallelRunner(options).run(grid, {&memory});
+
+  EXPECT_EQ(report.cells, 8u);
+  EXPECT_EQ(report.skipped, 3u);
+  EXPECT_EQ(report.records, 10u);  // 5 remaining cells x 2 algorithms
+  std::vector<std::size_t> emitted;
+  for (const ResultRecord& record : memory.records()) {
+    if (emitted.empty() || emitted.back() != record.cell_index) {
+      emitted.push_back(record.cell_index);
+    }
+  }
+  EXPECT_EQ(emitted, (std::vector<std::size_t>{1, 2, 4, 5, 6}));
 }
 
 TEST(Sinks, EmptyGridStillWritesCsvHeader) {

@@ -142,6 +142,29 @@ TEST(Stats, SingleValueHasNoSpread) {
   EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
 }
 
+TEST(Stats, TCriticalValuesMatchTheTable) {
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);  // no interval for n < 2
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(t_critical_95(9), 2.262);   // the default 10 platforms
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_critical_95(45), 2.000);
+  EXPECT_DOUBLE_EQ(t_critical_95(100), 1.980);
+  EXPECT_DOUBLE_EQ(t_critical_95(100000), 1.960);  // normal limit
+  for (std::size_t df = 1; df < 130; ++df) {
+    EXPECT_GE(t_critical_95(df), t_critical_95(df + 1)) << "df=" << df;
+    EXPECT_GE(t_critical_95(df), 1.96);
+  }
+}
+
+TEST(Stats, Ci95UsesStudentTNotZ) {
+  // n = 4 => df = 3 => t = 3.182; the old z = 1.96 understated the
+  // half-width by ~40% at this sample size.
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(s.ci95_half_width, 3.182 * s.stddev / 2.0, 1e-12);
+  EXPECT_GT(s.ci95_half_width, 1.96 * s.stddev / 2.0);
+}
+
 TEST(Stats, GeometricMean) {
   EXPECT_DOUBLE_EQ(geometric_mean({1.0, 4.0}), 2.0);
   EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
@@ -223,6 +246,18 @@ TEST(Cli, RejectsMalformedNumbers) {
   const char* argv[] = {"prog", "--n=abc"};
   Cli cli(2, argv);
   EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, GetUint64CoversFullRangeAndRejectsNegatives) {
+  const char* argv[] = {"prog", "--seed=18446744073709551615", "--bad=-1",
+                        "--junk=12x", "--shards=4"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_uint64("seed", 0), 18446744073709551615ULL);
+  EXPECT_EQ(cli.get_uint64("shards", 1), 4u);
+  EXPECT_EQ(cli.get_uint64("absent", 9), 9u);
+  // stoull would happily wrap "-1" to 2^64-1; get_uint64 must not.
+  EXPECT_THROW(cli.get_uint64("bad", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_uint64("junk", 0), std::invalid_argument);
 }
 
 }  // namespace
