@@ -4,7 +4,9 @@ namespace msol::algorithms {
 
 core::Decision ListScheduling::decide(const core::EngineView& engine) {
   const core::TaskId task = engine.pending_front();
-  return core::Assign{task, engine.best_completion_slave(task)};
+  const core::SlaveId slave = engine.best_completion_slave(task);
+  if (slave < 0) return core::Defer{};  // every slave is offline
+  return core::Assign{task, slave};
 }
 
 }  // namespace msol::algorithms

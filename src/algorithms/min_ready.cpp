@@ -3,15 +3,17 @@
 namespace msol::algorithms {
 
 core::Decision MinReady::decide(const core::EngineView& engine) {
-  core::SlaveId best = 0;
-  core::Time best_ready = engine.slave_ready_at(0);
-  for (core::SlaveId j = 1; j < engine.platform().size(); ++j) {
+  core::SlaveId best = -1;
+  core::Time best_ready = 0.0;
+  for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
+    if (!engine.is_available(j)) continue;
     const core::Time ready = engine.slave_ready_at(j);
-    if (ready < best_ready - core::kTimeEps) {
+    if (best < 0 || ready < best_ready - core::kTimeEps) {
       best = j;
       best_ready = ready;
     }
   }
+  if (best < 0) return core::Defer{};  // every slave is offline
   return core::Assign{engine.pending_front(), best};
 }
 

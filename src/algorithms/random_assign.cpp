@@ -1,11 +1,22 @@
 #include "algorithms/random_assign.hpp"
 
+#include <vector>
+
 namespace msol::algorithms {
 
 core::Decision RandomAssign::decide(const core::EngineView& engine) {
-  const core::SlaveId slave = static_cast<core::SlaveId>(
-      rng_.uniform_int(0, engine.platform().size() - 1));
-  return core::Assign{engine.pending_front(), slave};
+  // Drawing an index into the available subset keeps the rng stream
+  // identical to the original uniform_int(0, m-1) draw whenever every slave
+  // is online (the static platforms of the differential suite).
+  std::vector<core::SlaveId> online;
+  online.reserve(static_cast<std::size_t>(engine.platform().size()));
+  for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
+    if (engine.is_available(j)) online.push_back(j);
+  }
+  if (online.empty()) return core::Defer{};
+  const std::size_t pick = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(online.size()) - 1));
+  return core::Assign{engine.pending_front(), online[pick]};
 }
 
 }  // namespace msol::algorithms

@@ -1,5 +1,6 @@
 #include "algorithms/randomized_ls.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -18,13 +19,21 @@ core::Decision RandomizedLs::decide(const core::EngineView& engine) {
 
   std::vector<core::Time> completion(static_cast<std::size_t>(m));
   core::Time best = 0.0;
+  bool have_best = false;
   for (core::SlaveId j = 0; j < m; ++j) {
+    if (!engine.is_available(j)) {
+      completion[static_cast<std::size_t>(j)] =
+          std::numeric_limits<core::Time>::infinity();
+      continue;
+    }
     completion[static_cast<std::size_t>(j)] =
         engine.completion_if_assigned(task, j);
-    if (j == 0 || completion[static_cast<std::size_t>(j)] < best) {
+    if (!have_best || completion[static_cast<std::size_t>(j)] < best) {
       best = completion[static_cast<std::size_t>(j)];
+      have_best = true;
     }
   }
+  if (!have_best) return core::Defer{};  // every slave is offline
 
   std::vector<core::SlaveId> candidates;
   const core::Time cutoff = best * (1.0 + theta_) + core::kTimeEps;

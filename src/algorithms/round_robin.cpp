@@ -32,9 +32,16 @@ core::Decision RoundRobin::decide(const core::EngineView& engine) {
         break;
     }
   }
-  const core::SlaveId slave = cycle_[next_ % cycle_.size()];
-  ++next_;
-  return core::Assign{engine.pending_front(), slave};
+  // Offline slaves forfeit their turn: the cursor walks past them (at most
+  // one full cycle) and defers when the whole fleet is down.
+  for (std::size_t tried = 0; tried < cycle_.size(); ++tried) {
+    const core::SlaveId slave = cycle_[next_ % cycle_.size()];
+    ++next_;
+    if (engine.is_available(slave)) {
+      return core::Assign{engine.pending_front(), slave};
+    }
+  }
+  return core::Defer{};
 }
 
 }  // namespace msol::algorithms

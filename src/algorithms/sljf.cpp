@@ -41,13 +41,24 @@ core::Decision SljfBase::decide(const core::EngineView& engine) {
   const core::TaskId task = engine.pending_front();
   if (sent_ < plan_.size()) {
     const core::SlaveId slave = plan_[sent_];
+    if (engine.is_available(slave)) {
+      ++sent_;
+      return core::Assign{task, slave};
+    }
+    // The planned slave is offline: spend the plan slot on the best
+    // available substitute instead of stalling the whole plan behind one
+    // dead machine. If the fleet is entirely down, keep the slot and defer.
+    const core::SlaveId fallback = engine.best_completion_slave(task);
+    if (fallback < 0) return core::Defer{};
     ++sent_;
-    return core::Assign{task, slave};
+    return core::Assign{task, fallback};
   }
 
   // Tail: list-scheduling fallback.
+  const core::SlaveId slave = engine.best_completion_slave(task);
+  if (slave < 0) return core::Defer{};
   ++sent_;
-  return core::Assign{task, engine.best_completion_slave(task)};
+  return core::Assign{task, slave};
 }
 
 }  // namespace msol::algorithms

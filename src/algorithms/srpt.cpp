@@ -6,6 +6,7 @@ core::Decision Srpt::decide(const core::EngineView& engine) {
   const platform::Platform& platform = engine.platform();
   core::SlaveId best = -1;
   for (core::SlaveId j = 0; j < platform.size(); ++j) {
+    if (!engine.is_available(j)) continue;
     if (!engine.slave_free_now(j)) continue;
     if (best < 0 || platform.comp(j) < platform.comp(best) ||
         (platform.comp(j) == platform.comp(best) &&

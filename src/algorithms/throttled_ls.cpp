@@ -26,6 +26,7 @@ core::Decision ThrottledLs::decide(const core::EngineView& engine) {
   core::SlaveId best = -1;
   core::Time best_completion = 0.0;
   for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
+    if (!engine.is_available(j)) continue;
     if (in_system(engine, j) >= max_queue_) continue;
     const core::Time completion = engine.completion_if_assigned(task, j);
     if (best < 0 || completion < best_completion - core::kTimeEps) {

@@ -36,11 +36,23 @@ core::Decision WeightedRoundRobin::decide(const core::EngineView& engine) {
     credit_.assign(share_.size(), 0.0);
   }
   // Stride scheduling: everyone accrues its share, the largest credit wins
-  // and pays one task. Zero-share slaves never accumulate credit.
-  core::SlaveId best = 0;
+  // and pays one task. Zero-share slaves never accumulate credit. Offline
+  // slaves keep accruing (they retain their long-run share) but cannot win
+  // a round; with the whole fleet down nothing accrues and the policy
+  // defers until a slave returns.
+  bool any_available = false;
+  for (std::size_t j = 0; j < share_.size(); ++j) {
+    if (engine.is_available(static_cast<core::SlaveId>(j))) {
+      any_available = true;
+      break;
+    }
+  }
+  if (!any_available) return core::Defer{};
+  core::SlaveId best = -1;
   for (std::size_t j = 0; j < share_.size(); ++j) {
     credit_[j] += share_[j];
-    if (credit_[j] > credit_[static_cast<std::size_t>(best)] + 1e-15) {
+    if (!engine.is_available(static_cast<core::SlaveId>(j))) continue;
+    if (best < 0 || credit_[j] > credit_[static_cast<std::size_t>(best)] + 1e-15) {
       best = static_cast<core::SlaveId>(j);
     }
   }

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace msol::core {
@@ -57,6 +58,47 @@ void OnePortEngine::reset(platform::Platform platform,
   wake_gen_ = 0;
   schedule_.clear();
   trace_.clear();
+
+  avail_enabled_ = false;
+  next_span_.assign(m, 0);
+  slave_online_.assign(m, 1);
+  slave_speed_.assign(m, 1.0);
+  slave_act_busy_.assign(m, 0.0);
+  chain_doomed_.assign(m, 0);
+  doomed_tasks_.resize(m);
+  for (std::vector<TaskId>& doomed : doomed_tasks_) doomed.clear();
+  doomed_partial_work_.assign(m, 0.0);
+  disruption_ = DisruptionStats{};
+  if (!options_.availability.empty()) {
+    if (options_.availability.size() != m) {
+      throw std::invalid_argument(
+          "OnePortEngine: availability profile count must match slave count");
+    }
+    for (const platform::AvailabilityProfile& profile :
+         options_.availability) {
+      if (!profile.trivial()) {
+        avail_enabled_ = true;
+        break;
+      }
+    }
+  }
+  next_avail_time_ = std::numeric_limits<Time>::infinity();
+  if (avail_enabled_) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto& spans = options_.availability[j].spans();
+      std::size_t i = 0;
+      while (i < spans.size() && spans[i].begin <= kTimeEps) {
+        slave_online_[j] = spans[i].online ? 1 : 0;
+        slave_speed_[j] = spans[i].speed;
+        ++i;
+      }
+      next_span_[j] = i;
+      if (i < spans.size()) {
+        events_.push(spans[i].begin, EventKind::kAvailability);
+        next_avail_time_ = std::min(next_avail_time_, spans[i].begin);
+      }
+    }
+  }
 }
 
 void OnePortEngine::require_bound() const {
@@ -145,6 +187,80 @@ void OnePortEngine::process_releases() {
   }
 }
 
+void OnePortEngine::process_avail_transitions() {
+  // O(1) early-out on the overwhelmingly common iteration where nothing is
+  // due; the per-slave sweep below runs only when a transition fires.
+  if (!avail_enabled_ || next_avail_time_ > now_ + kTimeEps) return;
+  next_avail_time_ = std::numeric_limits<Time>::infinity();
+  const std::size_t m = static_cast<std::size_t>(platform_->size());
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& spans = options_.availability[j].spans();
+    std::size_t& i = next_span_[j];
+    bool advanced = false;
+    while (i < spans.size() && spans[i].begin <= now_ + kTimeEps) {
+      const platform::AvailabilitySpan& span = spans[i];
+      const bool was_online = slave_online_[j] != 0;
+      const double was_speed = slave_speed_[j];
+      slave_online_[j] = span.online ? 1 : 0;
+      slave_speed_[j] = span.speed;
+      if (options_.enable_trace) {
+        const SlaveId slave = static_cast<SlaveId>(j);
+        if (was_online && !span.online) {
+          trace_.record(TraceEvent{TraceEvent::Kind::kSlaveDown, span.begin,
+                                   -1, slave, 0.0});
+        } else if (!was_online && span.online) {
+          trace_.record(TraceEvent{TraceEvent::Kind::kSlaveUp, span.begin, -1,
+                                   slave, span.speed});
+        } else if (span.online && span.speed != was_speed) {
+          trace_.record(TraceEvent{TraceEvent::Kind::kSpeedShift, span.begin,
+                                   -1, slave, span.speed});
+        }
+      }
+      if (was_online && !span.online) {
+        handle_offline(static_cast<SlaveId>(j), span.begin);
+      }
+      ++i;
+      advanced = true;
+    }
+    if (advanced && i < spans.size()) {
+      events_.push(spans[i].begin, EventKind::kAvailability);
+    }
+    if (i < spans.size()) {
+      next_avail_time_ = std::min(next_avail_time_, spans[i].begin);
+    }
+  }
+}
+
+void OnePortEngine::handle_offline(SlaveId j, Time t) {
+  const std::size_t js = static_cast<std::size_t>(j);
+  std::vector<TaskId>& doomed = doomed_tasks_[js];
+  if (!doomed.empty()) {
+    ++disruption_.disruptive_outages;
+    disruption_.lost_work += doomed_partial_work_[js];
+    // The doomed tasks' observable completion estimates are exactly the
+    // tail of this slave's completion list; none of them will happen.
+    std::vector<Time>& ends = slave_comp_ends_[js];
+    ends.resize(ends.size() - doomed.size());
+    for (TaskId id : doomed) {
+      TaskState& task = tasks_[static_cast<std::size_t>(id)];
+      task.committed = false;
+      task.slave = -1;
+      --committed_;
+      ++disruption_.redispatches;
+      pending_push_back(id);
+      if (options_.enable_trace) {
+        trace_.record(TraceEvent{TraceEvent::Kind::kRequeue, t, id, j, 0.0});
+      }
+      scheduler_->on_task_released(*this, id);
+    }
+    doomed.clear();
+  }
+  doomed_partial_work_[js] = 0.0;
+  chain_doomed_[js] = 0;
+  slave_ready_[js] = t;
+  slave_act_busy_[js] = t;
+}
+
 bool OnePortEngine::try_decide() {
   if (pending_count_ == 0 || !port_free_now()) return false;
   const Decision decision = scheduler_->decide(*this);
@@ -174,6 +290,12 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
   if (slave < 0 || slave >= platform_->size()) {
     throw std::logic_error("OnePortEngine: scheduler chose an invalid slave");
   }
+  const std::size_t js = static_cast<std::size_t>(slave);
+  if (avail_enabled_ && slave_online_[js] == 0) {
+    throw std::logic_error(
+        "OnePortEngine: scheduler chose an offline slave (policies must "
+        "skip unavailable slaves)");
+  }
   if (task_id < 0 || task_id >= total_tasks() ||
       !in_pending_[static_cast<std::size_t>(task_id)]) {
     throw std::logic_error(
@@ -193,15 +315,65 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
   rec.send_start = now_;
   rec.send_end =
       now_ + platform_->comm(slave) * task.spec.comm_factor;
-  rec.comp_start = std::max(rec.send_end,
-                            slave_ready_[static_cast<std::size_t>(slave)]);
-  rec.comp_end = rec.comp_start +
-                 platform_->comp(slave) * task.spec.comp_factor *
-                     slowdown_factor_at(options_.slowdowns, slave,
-                                        rec.comp_start);
-  slave_ready_[static_cast<std::size_t>(slave)] = rec.comp_end;
-  slave_comp_ends_[static_cast<std::size_t>(slave)].push_back(rec.comp_end);
-  events_.push(rec.comp_end, EventKind::kCompletion);
+
+  bool doomed = false;
+  if (!avail_enabled_) {
+    // Original closed-form path: the availability-free arithmetic must stay
+    // bit-identical to ReferenceEngine (test_engine_diff).
+    rec.comp_start = std::max(rec.send_end, slave_ready_[js]);
+    rec.comp_end = rec.comp_start +
+                   platform_->comp(slave) * task.spec.comp_factor *
+                       slowdown_factor_at(options_.slowdowns, slave,
+                                          rec.comp_start);
+    slave_ready_[js] = rec.comp_end;
+    slave_comp_ends_[js].push_back(rec.comp_end);
+    events_.push(rec.comp_end, EventKind::kCompletion);
+  } else {
+    const platform::AvailabilityProfile& profile = options_.availability[js];
+    doomed = chain_doomed_[js] != 0;
+    double partial_work = 0.0;
+    if (!doomed) {
+      const Time exec_start = std::max(rec.send_end, slave_act_busy_[js]);
+      const double work = platform_->comp(slave) * task.spec.comp_factor *
+                          slowdown_factor_at(options_.slowdowns, slave,
+                                             exec_start);
+      const std::optional<Time> outage = profile.next_offline_after(now_);
+      if (outage && exec_start >= *outage) {
+        doomed = true;  // still on the link (or queued) when the slave dies
+      } else {
+        const Time cut =
+            outage ? *outage : std::numeric_limits<Time>::infinity();
+        const platform::AvailabilityProfile::WorkResult run =
+            profile.run_work(exec_start, work, cut);
+        if (run.completed) {
+          rec.comp_start = exec_start;
+          rec.comp_end = run.end;
+        } else {
+          doomed = true;
+          partial_work = run.work_done;
+        }
+      }
+    }
+    if (doomed) {
+      // The outage that will wipe this task out is the engine's secret; the
+      // observable ready time extends by a current-speed extrapolation, and
+      // the flush at the transition instant re-queues the task.
+      chain_doomed_[js] = 1;
+      doomed_tasks_[js].push_back(task_id);
+      doomed_partial_work_[js] += partial_work;
+      const Time plan_start = std::max(rec.send_end, slave_ready_[js]);
+      const double plan_work =
+          platform_->comp(slave) * task.spec.comp_factor *
+          slowdown_factor_at(options_.slowdowns, slave, plan_start);
+      slave_ready_[js] = plan_start + plan_work / slave_speed_[js];
+      slave_comp_ends_[js].push_back(slave_ready_[js]);
+    } else {
+      slave_ready_[js] = rec.comp_end;
+      slave_act_busy_[js] = rec.comp_end;
+      slave_comp_ends_[js].push_back(rec.comp_end);
+      events_.push(rec.comp_end, EventKind::kCompletion);
+    }
+  }
 
   if (!port_busy_until_.empty()) {
     auto port = std::min_element(port_busy_until_.begin(),
@@ -216,10 +388,12 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
         TraceEvent{TraceEvent::Kind::kAssign, now_, task_id, slave, 0.0});
     trace_.record(TraceEvent{TraceEvent::Kind::kSendEnd, rec.send_end,
                              task_id, slave, 0.0});
-    trace_.record(TraceEvent{TraceEvent::Kind::kCompEnd, rec.comp_end,
-                             task_id, slave, 0.0});
+    if (!doomed) {
+      trace_.record(TraceEvent{TraceEvent::Kind::kCompEnd, rec.comp_end,
+                               task_id, slave, 0.0});
+    }
   }
-  schedule_.add(rec);
+  if (!doomed) schedule_.add(rec);
 }
 
 std::optional<Time> OnePortEngine::next_wakeup() {
@@ -263,12 +437,14 @@ void OnePortEngine::run_until(Time t) {
     throw std::invalid_argument("OnePortEngine: run_until into the past");
   }
   for (;;) {
+    process_avail_transitions();
     process_releases();
     if (now_ + kTimeEps < t && try_decide()) continue;
     const std::optional<Time> wake = next_wakeup();
     if (!wake || *wake > t + kTimeEps) {
       now_ = std::max(now_, t);
-      process_releases();  // releases at exactly t become visible
+      process_avail_transitions();  // transitions at exactly t take effect
+      process_releases();           // releases at exactly t become visible
       return;
     }
     now_ = std::min(*wake, t);
@@ -278,8 +454,17 @@ void OnePortEngine::run_until(Time t) {
 void OnePortEngine::run_to_completion() {
   require_bound();
   for (;;) {
+    process_avail_transitions();
     process_releases();
     if (try_decide()) continue;
+    // Once every task has a completed record, the only calendar entries
+    // left can be future availability transitions (and their wake-ups);
+    // draining them would drag now() past the true completion time.
+    if (avail_enabled_ && pending_count_ == 0 &&
+        next_release_idx_ >= release_order_.size() &&
+        schedule_.size() == total_tasks()) {
+      break;
+    }
     const std::optional<Time> wake = next_wakeup();
     if (!wake) break;
     now_ = *wake;
@@ -287,7 +472,8 @@ void OnePortEngine::run_to_completion() {
   if (pending_count_ != 0 || next_release_idx_ < release_order_.size()) {
     throw std::logic_error(
         "OnePortEngine: scheduler '" + scheduler_->name() +
-        "' deferred forever with tasks pending (deadlock)");
+        "' deferred forever with tasks pending (deadlock; with availability "
+        "profiles this can mean a slave never comes back online)");
   }
   now_ = std::max(now_, schedule_.makespan());
 }
@@ -296,6 +482,22 @@ Schedule OnePortEngine::take_schedule() {
   Schedule out = std::move(schedule_);
   schedule_.clear();
   return out;
+}
+
+bool OnePortEngine::is_available(SlaveId j) const {
+  if (j < 0 || j >= platform_->size()) {
+    throw std::out_of_range("OnePortEngine: slave id out of range");
+  }
+  return !avail_enabled_ || slave_online_[static_cast<std::size_t>(j)] != 0;
+}
+
+double OnePortEngine::current_speed(SlaveId j) const {
+  if (j < 0 || j >= platform_->size()) {
+    throw std::out_of_range("OnePortEngine: slave id out of range");
+  }
+  if (!avail_enabled_) return 1.0;
+  const std::size_t js = static_cast<std::size_t>(j);
+  return slave_online_[js] != 0 ? slave_speed_[js] : 0.0;
 }
 
 Time OnePortEngine::port_free_at() const {
@@ -354,12 +556,19 @@ std::optional<SlaveId> OnePortEngine::assignment_of(TaskId task) const {
 
 Time OnePortEngine::completion_if_assigned(TaskId task, SlaveId j) const {
   // Deliberately uses the *nominal* p_j: schedulers estimate with the
-  // calibrated platform and are blind to injected background load.
+  // calibrated platform and are blind to injected background load. Under
+  // availability the probe uses the slave's *current* speed only — future
+  // drift and outages stay invisible (offline slaves probe as infinity).
   const TaskSpec& spec = task_spec(task);
+  if (avail_enabled_ && slave_online_[static_cast<std::size_t>(j)] == 0) {
+    return std::numeric_limits<Time>::infinity();
+  }
   const Time send_start = std::max({now_, port_free_at(), spec.release});
   const Time send_end = send_start + platform_->comm(j) * spec.comm_factor;
   const Time comp_start = std::max(send_end, slave_ready_at(j));
-  return comp_start + platform_->comp(j) * spec.comp_factor;
+  Time compute = platform_->comp(j) * spec.comp_factor;
+  if (avail_enabled_) compute /= slave_speed_[static_cast<std::size_t>(j)];
+  return comp_start + compute;
 }
 
 SlaveId OnePortEngine::best_completion_slave(TaskId task) const {
@@ -370,15 +579,20 @@ SlaveId OnePortEngine::best_completion_slave(TaskId task) const {
   const TaskSpec& spec = task_spec(task);
   const Time send_start = std::max({now_, port_free_at(), spec.release});
   const platform::Platform& plat = *platform_;
-  SlaveId best = 0;
+  SlaveId best = -1;
   Time best_completion = 0.0;
   for (SlaveId j = 0; j < plat.size(); ++j) {
+    if (avail_enabled_ && slave_online_[static_cast<std::size_t>(j)] == 0) {
+      continue;
+    }
     const Time send_end = send_start + plat.comm(j) * spec.comm_factor;
     const Time comp_start =
         std::max(send_end,
                  std::max(now_, slave_ready_[static_cast<std::size_t>(j)]));
-    const Time completion = comp_start + plat.comp(j) * spec.comp_factor;
-    if (j == 0 || completion < best_completion - kTimeEps) {
+    Time compute = plat.comp(j) * spec.comp_factor;
+    if (avail_enabled_) compute /= slave_speed_[static_cast<std::size_t>(j)];
+    const Time completion = comp_start + compute;
+    if (best < 0 || completion < best_completion - kTimeEps) {
       best = j;
       best_completion = completion;
     }
@@ -387,7 +601,8 @@ SlaveId OnePortEngine::best_completion_slave(TaskId task) const {
 }
 
 Schedule simulate(const platform::Platform& platform, const Workload& workload,
-                  OnlineScheduler& scheduler, EngineOptions options) {
+                  OnlineScheduler& scheduler, EngineOptions options,
+                  DisruptionStats* disruption) {
   // One engine per thread, reused across calls: a grid sweep calls
   // simulate() once per (cell, platform, algorithm) and previously paid a
   // full allocation of every internal vector each time. The guard covers
@@ -401,6 +616,7 @@ Schedule simulate(const platform::Platform& platform, const Workload& workload,
     OnePortEngine engine(platform, scheduler, std::move(options));
     engine.load(workload);
     engine.run_to_completion();
+    if (disruption != nullptr) *disruption = engine.disruption();
     return engine.take_schedule();
   }
   engine_in_use = true;
@@ -411,6 +627,7 @@ Schedule simulate(const platform::Platform& platform, const Workload& workload,
   reusable.reset(platform, scheduler, std::move(options));
   reusable.load(workload);
   reusable.run_to_completion();
+  if (disruption != nullptr) *disruption = reusable.disruption();
   return reusable.take_schedule();
 }
 

@@ -12,6 +12,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "core/workload.hpp"
+#include "platform/availability.hpp"
 #include "platform/platform.hpp"
 
 namespace msol::core {
@@ -50,8 +51,25 @@ struct EngineOptions {
   /// Schedulers are NOT told about these windows — they plan with nominal
   /// (c_j, p_j) and the engine charges the real, degraded durations.
   std::vector<SlowdownWindow> slowdowns;
+  /// Per-slave availability timelines (outages + speed drift). Empty, or
+  /// all-trivial, keeps the engine on its original closed-form path —
+  /// bit-identical to ReferenceEngine. Non-empty must have one profile per
+  /// slave. See the "time-varying availability" block comment below.
+  std::vector<platform::AvailabilityProfile> availability;
   /// Record a decision/event log readable via OnePortEngine::trace().
   bool enable_trace = false;
+};
+
+/// What time-varying availability cost a run: how often work had to be
+/// redone and how much compute evaporated. All zero on static platforms.
+struct DisruptionStats {
+  /// Committed tasks flushed back to pending by an offline transition
+  /// (each re-dispatch of the same task counts again).
+  int redispatches = 0;
+  /// Offline transitions that interrupted at least one committed task.
+  int disruptive_outages = 0;
+  /// Nominal-seconds of partially-finished compute discarded by outages.
+  double lost_work = 0.0;
 };
 
 /// Event-driven simulator of the one-port master-slave model (Sec 2).
@@ -86,6 +104,30 @@ struct EngineOptions {
 /// may then observe the committed prefix and inject_task() new releases; the
 /// next run call resumes decisions at t with the new information. This is
 /// exactly the probe discipline of the paper's lower-bound proofs.
+///
+/// Time-varying availability (EngineOptions::availability): each slave
+/// replays a deterministic profile of outages and speed drift, realized as
+/// kAvailability calendar events. Semantics:
+///  * a slave transitioning offline aborts *every* task committed to it and
+///    not yet completed (queued, computing, or still on the link): partial
+///    compute is discarded (DisruptionStats::lost_work), the tasks rejoin
+///    the pending set at the transition instant in commit order
+///    (re-dispatch), and the port time their sends consumed stays consumed —
+///    the master only learns of the failure when it happens;
+///  * a slave coming back online (and any speed change) is a decision
+///    instant: deferring schedulers wake up;
+///  * compute durations integrate the piecewise speed, so drift rescales
+///    the remaining work of an in-flight task;
+///  * schedulers observe only the present (is_available / current_speed);
+///    slave_ready_at is exact for work that will complete and a
+///    current-speed extrapolation for work a future outage will wipe out —
+///    outages are never foreseeable;
+///  * committing to an offline slave throws std::logic_error (policies must
+///    skip offline slaves, deferring when none is available).
+/// The schedule keeps exactly one record per task: its successful attempt.
+/// With all profiles trivial the engine takes its original closed-form path
+/// and stays bit-identical to ReferenceEngine (test_engine_diff enforces
+/// this).
 class OnePortEngine final : public EngineView {
  public:
   /// Inert engine; call reset() before any other member.
@@ -122,10 +164,16 @@ class OnePortEngine final : public EngineView {
   /// the engine's schedule is empty afterwards until the next reset/run.
   Schedule take_schedule();
 
+  /// Re-dispatch / lost-work counters accrued so far; all zero when
+  /// availability is disabled.
+  const DisruptionStats& disruption() const { return disruption_; }
+
   /// --- EngineView (the scheduler/adversary observables) -------------------
 
   Time now() const override { return now_; }
   const platform::Platform& platform() const override { return *platform_; }
+  bool is_available(SlaveId j) const override;
+  double current_speed(SlaveId j) const override;
   Time port_free_at() const override;
   Time slave_ready_at(SlaveId j) const override;
   int tasks_in_system(SlaveId j) const override;
@@ -151,6 +199,14 @@ class OnePortEngine final : public EngineView {
 
   void require_bound() const;
   void process_releases();
+  /// Applies every availability transition with instant <= now(): updates
+  /// the cached online/speed state, flushes aborted tasks back to pending
+  /// on offline transitions, and schedules the next transition event.
+  /// No-op when availability is disabled.
+  void process_avail_transitions();
+  /// Offline transition of slave j at time t: re-queues every committed,
+  /// uncompleted task of j and resets the slave's bookkeeping.
+  void handle_offline(SlaveId j, Time t);
   /// One decision round; returns true if an assignment was committed.
   bool try_decide();
   void commit(TaskId task, SlaveId slave);
@@ -196,6 +252,27 @@ class OnePortEngine final : public EngineView {
   /// lazily instead of searched for.
   std::uint32_t wake_gen_ = 0;
 
+  /// --- time-varying availability state (inert when !avail_enabled_) ------
+  bool avail_enabled_ = false;
+  /// Earliest pending transition across all slaves (+inf when none): lets
+  /// process_avail_transitions() early-out in O(1) on the vast majority of
+  /// event-loop iterations, where nothing is due.
+  Time next_avail_time_ = 0.0;
+  std::vector<std::size_t> next_span_;      ///< per-slave next profile span
+  std::vector<std::uint8_t> slave_online_;  ///< cached state at now()
+  std::vector<double> slave_speed_;         ///< cached speed at now()
+  /// Actual completion instant of slave j's committed chain — diverges from
+  /// slave_ready_ (the observable estimate) once a task is doomed.
+  std::vector<Time> slave_act_busy_;
+  /// True once a committed task on j cannot finish before j's next outage;
+  /// everything committed after it is doomed too (serial execution).
+  std::vector<std::uint8_t> chain_doomed_;
+  /// Doomed tasks per slave in commit order, flushed at the outage.
+  std::vector<std::vector<TaskId>> doomed_tasks_;
+  /// Partial compute (nominal-seconds) the outage will discard, per slave.
+  std::vector<double> doomed_partial_work_;
+  DisruptionStats disruption_;
+
   Schedule schedule_;
   Trace trace_;
 };
@@ -204,7 +281,10 @@ class OnePortEngine final : public EngineView {
 /// return the resulting schedule. Reuses one engine per thread across calls
 /// (falls back to a stack engine on re-entrant use), so sweeps that call it
 /// per (cell, platform, algorithm) stop reallocating the simulation state.
+/// `disruption`, when non-null, receives the run's re-dispatch/lost-work
+/// counters.
 Schedule simulate(const platform::Platform& platform, const Workload& workload,
-                  OnlineScheduler& scheduler, EngineOptions options = {});
+                  OnlineScheduler& scheduler, EngineOptions options = {},
+                  DisruptionStats* disruption = nullptr);
 
 }  // namespace msol::core

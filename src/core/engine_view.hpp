@@ -33,8 +33,28 @@ class EngineView {
   /// True if an unused port exists right now.
   bool port_free_now() const { return port_free_at() <= now() + kTimeEps; }
 
+  /// True when slave j is reachable right now. Engines without time-varying
+  /// availability (the paper's static platforms, and the frozen
+  /// ReferenceEngine) are always-on. Schedulers must skip offline slaves:
+  /// committing to one throws.
+  virtual bool is_available(SlaveId j) const {
+    (void)j;
+    return true;
+  }
+
+  /// Slave j's current compute-speed multiplier (1.0 nominal; 0.0 while
+  /// offline). Cost probes use the *current* speed only — future drift and
+  /// outages stay invisible, which is what keeps the policies on-line.
+  virtual double current_speed(SlaveId j) const {
+    (void)j;
+    return 1.0;
+  }
+
   /// Time slave j finishes everything committed to it so far (its
-  /// "ready-time" in the paper's terminology); == now() when idle.
+  /// "ready-time" in the paper's terminology); == now() when idle. Under
+  /// time-varying availability this is the master's best estimate: exact
+  /// for work that will complete, current-speed extrapolation for work an
+  /// unforeseen outage will wipe out.
   virtual Time slave_ready_at(SlaveId j) const = 0;
   /// True if slave j has no committed work beyond now().
   bool slave_free_now(SlaveId j) const {
@@ -73,20 +93,22 @@ class EngineView {
   /// Deliberately nominal — blind to injected background load.
   virtual Time completion_if_assigned(TaskId task, SlaveId j) const = 0;
 
-  /// The slave minimizing completion_if_assigned(task, j), with list
-  /// scheduling's exact tie-break: a later slave wins only when strictly
-  /// better by more than kTimeEps. One interface call instead of one per
-  /// slave — the production engine overrides it with a scan over its own
-  /// state (the send-start term is loop-invariant), turning LS's inner loop
-  /// from m virtual probes into one. The default is the plain generic loop;
-  /// ReferenceEngine keeps it, so the override cannot drift unnoticed: the
-  /// differential suite compares the resulting schedules bit-for-bit.
+  /// The available slave minimizing completion_if_assigned(task, j), with
+  /// list scheduling's exact tie-break: a later slave wins only when
+  /// strictly better by more than kTimeEps; -1 when no slave is available.
+  /// One interface call instead of one per slave — the production engine
+  /// overrides it with a scan over its own state (the send-start term is
+  /// loop-invariant), turning LS's inner loop from m virtual probes into
+  /// one. The default is the plain generic loop; ReferenceEngine keeps it,
+  /// so the override cannot drift unnoticed: the differential suite
+  /// compares the resulting schedules bit-for-bit.
   virtual SlaveId best_completion_slave(TaskId task) const {
-    SlaveId best = 0;
-    Time best_completion = completion_if_assigned(task, 0);
-    for (SlaveId j = 1; j < platform().size(); ++j) {
+    SlaveId best = -1;
+    Time best_completion = 0.0;
+    for (SlaveId j = 0; j < platform().size(); ++j) {
+      if (!is_available(j)) continue;
       const Time completion = completion_if_assigned(task, j);
-      if (completion < best_completion - kTimeEps) {
+      if (best < 0 || completion < best_completion - kTimeEps) {
         best = j;
         best_completion = completion;
       }

@@ -22,6 +22,8 @@ enum class EventKind : std::uint8_t {
   kCompletion,     ///< a slave finishes one task (the last one pending on a
                    ///< slave doubles as its slave-free instant)
   kSchedulerWake,  ///< a WaitUntil request comes due
+  kAvailability,   ///< some slave's availability profile has a transition
+                   ///< (outage begin/end or speed drift) at this instant
 };
 
 /// One calendar entry. `gen` is a caller-managed generation stamp used to

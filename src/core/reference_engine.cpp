@@ -17,6 +17,15 @@ ReferenceEngine::ReferenceEngine(platform::Platform platform,
   if (options_.port_capacity < 0) {
     throw std::invalid_argument("ReferenceEngine: negative port capacity");
   }
+  // The frozen oracle predates time-varying availability; trivial (all
+  // empty) profiles are accepted so the differential suite can prove the
+  // calendar engine's disabled path, anything else is refused loudly.
+  for (const platform::AvailabilityProfile& profile : options_.availability) {
+    if (!profile.trivial()) {
+      throw std::invalid_argument(
+          "ReferenceEngine: time-varying availability is not supported");
+    }
+  }
   if (options_.port_capacity > 0) {
     port_busy_until_.assign(static_cast<std::size_t>(options_.port_capacity),
                             0.0);

@@ -13,6 +13,10 @@ std::string to_string(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kWaitUntil: return "wait-until";
     case TraceEvent::Kind::kSendEnd: return "send-end";
     case TraceEvent::Kind::kCompEnd: return "comp-end";
+    case TraceEvent::Kind::kSlaveDown: return "slave-down";
+    case TraceEvent::Kind::kSlaveUp: return "slave-up";
+    case TraceEvent::Kind::kSpeedShift: return "speed-shift";
+    case TraceEvent::Kind::kRequeue: return "requeue";
   }
   return "unknown";
 }

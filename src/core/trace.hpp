@@ -16,6 +16,10 @@ struct TraceEvent {
     kWaitUntil,  ///< the scheduler requested a wake-up
     kSendEnd,    ///< a send finished (port freed)
     kCompEnd,    ///< a slave finished a task
+    kSlaveDown,  ///< a slave went offline (availability profile)
+    kSlaveUp,    ///< a slave came back online
+    kSpeedShift, ///< a slave's speed multiplier changed (aux = new speed)
+    kRequeue,    ///< an outage aborted a committed task; it is pending again
   };
 
   Kind kind = Kind::kRelease;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,7 +15,7 @@ constexpr double kDurEps = 1e-6;  // duration checks (looser than event order)
 
 void check_durations(const platform::Platform& platform,
                      const Workload& workload, const TaskRecord& r,
-                     const std::vector<SlowdownWindow>& slowdowns,
+                     const EngineOptions& options,
                      std::vector<std::string>& out) {
   const TaskSpec& spec = workload.at(r.task);
   std::ostringstream msg;
@@ -37,14 +38,42 @@ void check_durations(const platform::Platform& platform,
        << " before arrival " << r.send_end;
     out.push_back(m2.str());
   }
-  const Time want_comp =
+  const double want_work =
       platform.comp(r.slave) * spec.comp_factor *
-      slowdown_factor_at(slowdowns, r.slave, r.comp_start);
-  if (std::abs((r.comp_end - r.comp_start) - want_comp) > kDurEps) {
-    std::ostringstream m3;
-    m3 << "task " << r.task << ": compute duration "
-       << (r.comp_end - r.comp_start) << " != p_j*factor " << want_comp;
-    out.push_back(m3.str());
+      slowdown_factor_at(options.slowdowns, r.slave, r.comp_start);
+  const platform::AvailabilityProfile* profile =
+      options.availability.empty()
+          ? nullptr
+          : &options.availability[static_cast<std::size_t>(r.slave)];
+  if (profile == nullptr || profile->trivial()) {
+    if (std::abs((r.comp_end - r.comp_start) - want_work) > kDurEps) {
+      std::ostringstream m3;
+      m3 << "task " << r.task << ": compute duration "
+         << (r.comp_end - r.comp_start) << " != p_j*factor " << want_work;
+      out.push_back(m3.str());
+    }
+  } else {
+    // Time-varying slave: the record must fit inside one online stretch
+    // (offline transitions abort, so no completed task spans one) and the
+    // piecewise speed integral over [comp_start, comp_end] must equal the
+    // task's work. Re-derived from the profile, not the engine's solver.
+    const std::optional<Time> outage = profile->next_offline_after(
+        r.comp_start - kTimeEps);
+    if (!profile->online_at(r.comp_start) ||
+        (outage && r.comp_end > *outage + kDurEps)) {
+      std::ostringstream m3;
+      m3 << "task " << r.task << ": computes on slave " << r.slave
+         << " while it is offline (t=" << r.comp_start << ".." << r.comp_end
+         << ")";
+      out.push_back(m3.str());
+    }
+    const double done = profile->online_work_between(r.comp_start, r.comp_end);
+    if (std::abs(done - want_work) > kDurEps) {
+      std::ostringstream m3;
+      m3 << "task " << r.task << ": integrated compute work " << done
+         << " != p_j*factor " << want_work;
+      out.push_back(m3.str());
+    }
   }
 }
 
@@ -80,7 +109,7 @@ std::vector<std::string> validate(const platform::Platform& platform,
       continue;
     }
     ++seen[static_cast<std::size_t>(r.task)];
-    check_durations(platform, workload, r, options.slowdowns, out);
+    check_durations(platform, workload, r, options, out);
   }
   for (TaskId i = 0; i < workload.size(); ++i) {
     const int n = seen[static_cast<std::size_t>(i)];

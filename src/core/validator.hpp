@@ -28,8 +28,10 @@ std::vector<std::string> validate(const platform::Platform& platform,
                                   const Schedule& schedule,
                                   int port_capacity = 1);
 
-/// Variant honoring the full engine options (port capacity AND injected
-/// slowdown windows — compute durations must reflect the degraded speed).
+/// Variant honoring the full engine options: port capacity, injected
+/// slowdown windows, AND availability profiles (compute durations must
+/// match the piecewise speed integral, and no completed task may span an
+/// offline stretch of its slave).
 std::vector<std::string> validate(const platform::Platform& platform,
                                   const Workload& workload,
                                   const Schedule& schedule,

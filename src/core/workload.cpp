@@ -93,7 +93,10 @@ Workload Workload::inhomogeneous_poisson(int n, double base_rate,
     t += rng.exponential(peak);
     const double rate =
         base_rate * (1.0 + amplitude * std::sin(two_pi * t / period));
-    if (rng.uniform(0.0, 1.0) * peak <= rate) {
+    // Strict comparison: at full modulation the trough rate is exactly 0,
+    // and thinning must then reject every candidate — `<=` let a drawn 0.0
+    // emit a task at an instant of provably zero intensity.
+    if (rng.uniform(0.0, 1.0) * peak < rate) {
       tasks.push_back(TaskSpec{t, 1.0, 1.0});
     }
   }

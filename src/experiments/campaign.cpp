@@ -114,9 +114,33 @@ std::vector<std::string> algorithm_names(const CampaignConfig& config) {
                                    : config.algorithms;
 }
 
+/// The rep's engine options: port capacity plus, for time-varying models,
+/// one availability realization shared by every algorithm so they are
+/// measured against the identical sequence of outages. kAlways draws
+/// nothing from the rng (legacy cells stay bit-identical).
+core::EngineOptions make_engine_options(const CampaignConfig& config,
+                                        const platform::Platform& platform,
+                                        util::Rng& rng) {
+  core::EngineOptions options;
+  options.port_capacity = config.port_capacity;
+  if (config.avail != platform::AvailabilityModel::kAlways) {
+    const double rate = config.load * max_throughput(platform);
+    const double mtbf = config.mtbf_tasks / rate;
+    // Generous horizon: an arrival-dominated campaign drains in about
+    // num_tasks / rate seconds; outages stretch that, so cover 4x. Beyond
+    // the horizon the final (always-online) profile state persists.
+    const core::Time horizon = 4.0 * config.num_tasks / rate;
+    options.availability = platform::generate_availability(
+        config.avail, config.num_slaves, mtbf, config.outage_frac, horizon,
+        rng);
+  }
+  return options;
+}
+
 struct RawValues {
   std::vector<double> makespan, max_flow, sum_flow;
   std::vector<double> norm_makespan, norm_max_flow, norm_sum_flow;
+  std::vector<double> redispatches, lost_work;
 };
 
 }  // namespace
@@ -138,15 +162,20 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     const core::Workload workload =
         shape_workload(config, make_arrivals(config, plat, rep_rng), rep_rng);
 
+    const core::EngineOptions options =
+        make_engine_options(config, plat, rep_rng);
+
     // SRPT is the paper's normalizer; run it first.
     std::map<std::string, core::Schedule> schedules;
+    std::map<std::string, core::DisruptionStats> disruptions;
     for (const std::string& name : names) {
       auto scheduler = algorithms::make_scheduler(name, config.lookahead);
-      core::EngineOptions options;
-      options.port_capacity = config.port_capacity;
-      core::Schedule schedule = simulate(plat, workload, *scheduler, options);
-      core::validate_or_throw(plat, workload, schedule, config.port_capacity);
+      core::DisruptionStats disruption;
+      core::Schedule schedule =
+          simulate(plat, workload, *scheduler, options, &disruption);
+      core::validate_or_throw(plat, workload, schedule, options);
       schedules.emplace(name, std::move(schedule));
+      disruptions.emplace(name, disruption);
     }
 
     const core::Schedule* srpt = nullptr;
@@ -155,10 +184,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
     for (const std::string& name : names) {
       const core::Schedule& s = schedules.at(name);
+      const core::DisruptionStats& d = disruptions.at(name);
       RawValues& values = raw[name];
       values.makespan.push_back(s.makespan());
       values.max_flow.push_back(s.max_flow());
       values.sum_flow.push_back(s.sum_flow());
+      values.redispatches.push_back(static_cast<double>(d.redispatches));
+      values.lost_work.push_back(d.lost_work);
       if (srpt != nullptr) {
         values.norm_makespan.push_back(s.makespan() / srpt->makespan());
         values.norm_max_flow.push_back(s.max_flow() / srpt->max_flow());
@@ -179,6 +211,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     r.norm_makespan = util::summarize(values.norm_makespan);
     r.norm_max_flow = util::summarize(values.norm_max_flow);
     r.norm_sum_flow = util::summarize(values.norm_sum_flow);
+    r.redispatches = util::summarize(values.redispatches);
+    r.lost_work = util::summarize(values.lost_work);
     r.makespan_raw = values.makespan;
     r.max_flow_raw = values.max_flow;
     r.sum_flow_raw = values.sum_flow;
@@ -206,14 +240,14 @@ std::vector<RobustnessResult> run_robustness(const CampaignConfig& config) {
         config, make_arrivals(config, plat, rep_rng), rep_rng);
     const core::Workload jittered =
         identical.with_size_jitter(config.size_jitter, rep_rng);
+    const core::EngineOptions options =
+        make_engine_options(config, plat, rep_rng);
 
     for (const std::string& name : names) {
       auto scheduler = algorithms::make_scheduler(name, config.lookahead);
-      core::EngineOptions options;
-      options.port_capacity = config.port_capacity;
       const core::Schedule base = simulate(plat, identical, *scheduler, options);
       const core::Schedule pert = simulate(plat, jittered, *scheduler, options);
-      core::validate_or_throw(plat, jittered, pert, config.port_capacity);
+      core::validate_or_throw(plat, jittered, pert, options);
 
       RawValues& values = raw[name];
       values.makespan.push_back(pert.makespan() / base.makespan());

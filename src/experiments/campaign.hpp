@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "platform/availability.hpp"
 #include "platform/generator.hpp"
 #include "platform/platform.hpp"
 #include "util/stats.hpp"
@@ -55,6 +56,15 @@ struct CampaignConfig {
   /// one crest-trough cycle spans about that many arrivals at any load.
   double ipp_amplitude = 0.9;
   double ipp_period_tasks = 50.0;
+  /// Time-varying slave availability (outages / speed drift). kAlways is
+  /// the paper's static platform and draws nothing from the rng, so legacy
+  /// campaigns reproduce bit-identically. `mtbf_tasks` is the mean online
+  /// time between failures (kChurn) or between speed changes (kDrift),
+  /// expressed in mean inter-arrival times like ipp_period_tasks;
+  /// `outage_frac` is the target offline fraction of the horizon.
+  platform::AvailabilityModel avail = platform::AvailabilityModel::kAlways;
+  double mtbf_tasks = 50.0;
+  double outage_frac = 0.1;
   int lookahead = 1000;    ///< SLJF/SLJFWC planned-task count K
   int port_capacity = 1;   ///< 1 = one-port; 0 = unbounded (ablation)
   std::vector<std::string> algorithms;  ///< empty = the paper's seven
@@ -70,6 +80,11 @@ struct AlgorithmResult {
   util::Summary norm_makespan;  ///< value / SRPT's value, per platform
   util::Summary norm_max_flow;
   util::Summary norm_sum_flow;
+  /// Availability-disruption counters per platform, summarized: how many
+  /// re-dispatches the outages forced and how much partial compute they
+  /// discarded. All-zero under AvailabilityModel::kAlways.
+  util::Summary redispatches;
+  util::Summary lost_work;
   /// Per-platform raw series behind the summaries, index-aligned with the
   /// campaign's repetitions (entry r is platform r). Result sinks and
   /// cross-campaign significance tests need the unaggregated values.

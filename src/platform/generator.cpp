@@ -33,10 +33,16 @@ Platform PlatformGenerator::generate_with_spread(int num_slaves,
                                                  double comm_factor,
                                                  double comp_factor,
                                                  util::Rng& rng) const {
-  if (comm_factor < 1.0 || comp_factor < 1.0) {
+  if (!(comm_factor > 0.0) || !std::isfinite(comm_factor) ||
+      !(comp_factor > 0.0) || !std::isfinite(comp_factor)) {
     throw std::invalid_argument(
-        "PlatformGenerator: spread factors must be >= 1");
+        "PlatformGenerator: spread factors must be positive and finite");
   }
+  // A factor f in (0, 1) describes the same spread as 1/f — but fed to
+  // uniform(mid / f, mid * f) verbatim it inverts the bounds (lo > hi) and
+  // the draw is undefined. Normalize instead of surprising the caller.
+  if (comm_factor < 1.0) comm_factor = 1.0 / comm_factor;
+  if (comp_factor < 1.0) comp_factor = 1.0 / comp_factor;
   const double comm_mid = std::sqrt(ranges_.comm_lo * ranges_.comm_hi);
   const double comp_mid = std::sqrt(ranges_.comp_lo * ranges_.comp_hi);
 

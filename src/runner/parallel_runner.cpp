@@ -28,6 +28,9 @@ ResultRecord make_record(const ScenarioSpec& cell,
   record.size_jitter = cell.config.size_jitter;
   record.port_capacity = cell.config.port_capacity;
   record.size_mix = cell.config.size_mix;
+  record.avail = cell.config.avail;
+  record.mtbf_tasks = cell.config.mtbf_tasks;
+  record.outage_frac = cell.config.outage_frac;
   record.result = algorithm;
   return record;
 }

@@ -57,19 +57,23 @@ std::string json_number(double value) {
   return std::isfinite(value) ? util::fmt_exact(value) : "null";
 }
 
-constexpr const char* kMetricNames[] = {"makespan",      "sum_flow",
-                                        "max_flow",      "norm_makespan",
-                                        "norm_sum_flow", "norm_max_flow"};
+constexpr const char* kMetricNames[] = {
+    "makespan",      "sum_flow",      "max_flow",     "norm_makespan",
+    "norm_sum_flow", "norm_max_flow", "redispatches", "lost_work"};
+constexpr int kMetricCount = 8;
 
-/// The six summaries of an AlgorithmResult in the sinks' column order.
-const util::Summary* metric_summaries(const experiments::AlgorithmResult& r,
-                                      const util::Summary* out[6]) {
+/// The summaries of an AlgorithmResult in the sinks' column order.
+const util::Summary* metric_summaries(
+    const experiments::AlgorithmResult& r,
+    const util::Summary* out[kMetricCount]) {
   out[0] = &r.makespan;
   out[1] = &r.sum_flow;
   out[2] = &r.max_flow;
   out[3] = &r.norm_makespan;
   out[4] = &r.norm_sum_flow;
   out[5] = &r.norm_max_flow;
+  out[6] = &r.redispatches;
+  out[7] = &r.lost_work;
   return out[0];
 }
 
@@ -103,7 +107,7 @@ CsvSink::CsvSink(std::ostream& out, bool header_written)
 std::string CsvSink::header() {
   std::string h =
       "cell_index,cell_id,cell_seed,platform_class,slaves,arrival,load,"
-      "jitter,port,sizes,algorithm,platforms";
+      "jitter,port,sizes,avail,mtbf_tasks,outage_frac,algorithm,platforms";
   for (const char* metric : kMetricNames) {
     for (const char* stat :
          {"mean", "stddev", "min", "max", "median", "ci95"}) {
@@ -128,9 +132,12 @@ std::string CsvSink::to_csv_row(const ResultRecord& record) {
   row += ',' + util::fmt_exact(record.size_jitter);
   row += ',' + std::to_string(record.port_capacity);
   row += ',' + experiments::to_string(record.size_mix);
+  row += ',' + platform::to_string(record.avail);
+  row += ',' + util::fmt_exact(record.mtbf_tasks);
+  row += ',' + util::fmt_exact(record.outage_frac);
   row += ',' + csv_escape(record.result.name);
   row += ',' + std::to_string(record.result.makespan.count);
-  const util::Summary* summaries[6];
+  const util::Summary* summaries[kMetricCount];
   metric_summaries(record.result, summaries);
   for (const util::Summary* s : summaries) {
     row += ',' + util::fmt_exact(s->mean);
@@ -182,12 +189,16 @@ std::string JsonLinesSink::to_json(const ResultRecord& record) {
   json += ",\"port\":" + std::to_string(record.port_capacity);
   json += ",\"sizes\":\"" +
           json_escape(experiments::to_string(record.size_mix)) + "\"";
+  json += ",\"avail\":\"" +
+          json_escape(platform::to_string(record.avail)) + "\"";
+  json += ",\"mtbf_tasks\":" + json_number(record.mtbf_tasks);
+  json += ",\"outage_frac\":" + json_number(record.outage_frac);
   json += ",\"algorithm\":\"" + json_escape(record.result.name) + "\"";
   json += ",\"platforms\":" + std::to_string(record.result.makespan.count);
 
-  const util::Summary* summaries[6];
+  const util::Summary* summaries[kMetricCount];
   metric_summaries(record.result, summaries);
-  for (int m = 0; m < 6; ++m) {
+  for (int m = 0; m < kMetricCount; ++m) {
     const util::Summary& s = *summaries[m];
     json += ",\"";
     json += kMetricNames[m];

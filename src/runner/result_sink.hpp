@@ -25,6 +25,9 @@ struct ResultRecord {
   double size_jitter = 0.0;
   int port_capacity = 0;
   experiments::TaskSizeMix size_mix = experiments::TaskSizeMix::kUnit;
+  platform::AvailabilityModel avail = platform::AvailabilityModel::kAlways;
+  double mtbf_tasks = 0.0;
+  double outage_frac = 0.0;
   experiments::AlgorithmResult result;
 };
 

@@ -99,10 +99,23 @@ experiments::TaskSizeMix parse_size_mix(const std::string& token) {
   throw std::invalid_argument("grid: unknown size mix '" + token + "'");
 }
 
+platform::AvailabilityModel parse_availability(const std::string& token) {
+  using platform::AvailabilityModel;
+  for (AvailabilityModel model :
+       {AvailabilityModel::kAlways, AvailabilityModel::kRareOutage,
+        AvailabilityModel::kChurn, AvailabilityModel::kDrift}) {
+    if (token == platform::to_string(model)) return model;
+  }
+  throw std::invalid_argument("grid: unknown availability model '" + token +
+                              "'");
+}
+
 std::size_t cell_count(const ScenarioGrid& grid) {
   return grid.classes.size() * grid.slave_counts.size() *
          grid.arrivals.size() * grid.loads.size() * grid.jitters.size() *
-         grid.port_capacities.size() * grid.size_mixes.size();
+         grid.port_capacities.size() * grid.size_mixes.size() *
+         grid.avails.size() * grid.mtbf_tasks.size() *
+         grid.outage_fracs.size();
 }
 
 std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
@@ -113,7 +126,10 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
       {"load", grid.loads.size()},
       {"jitter", grid.jitters.size()},
       {"port", grid.port_capacities.size()},
-      {"sizes", grid.size_mixes.size()}};
+      {"sizes", grid.size_mixes.size()},
+      {"avail", grid.avails.size()},
+      {"mtbf_tasks", grid.mtbf_tasks.size()},
+      {"outage_frac", grid.outage_fracs.size()}};
   for (const auto& [axis, size] : axes) {
     if (size == 0) {
       throw std::invalid_argument(std::string("expand: empty axis '") + axis +
@@ -131,31 +147,43 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
           for (double jitter : grid.jitters) {
             for (int port : grid.port_capacities) {
               for (experiments::TaskSizeMix mix : grid.size_mixes) {
-                ScenarioSpec cell;
-                cell.index = cells.size();
-                cell.id = platform::to_string(cls) + "/m" +
-                          std::to_string(slaves) + "/" +
-                          experiments::to_string(arrival) + "/load" +
-                          util::fmt_exact(load) + "/jit" +
-                          util::fmt_exact(jitter) + "/port" +
-                          std::to_string(port) + "/sz-" +
-                          experiments::to_string(mix);
-                cell.config.platform_class = cls;
-                cell.config.num_slaves = slaves;
-                cell.config.arrival = arrival;
-                cell.config.load = load;
-                cell.config.size_jitter = jitter;
-                cell.config.port_capacity = port;
-                cell.config.size_mix = mix;
-                cell.config.ipp_amplitude = grid.ipp_amplitude;
-                cell.config.ipp_period_tasks = grid.ipp_period_tasks;
-                cell.config.num_platforms = grid.num_platforms;
-                cell.config.num_tasks = grid.num_tasks;
-                cell.config.lookahead = grid.lookahead;
-                cell.config.algorithms = grid.algorithms;
-                cell.config.ranges = grid.ranges;
-                cell.config.seed = seeder.child_seed(cell.index);
-                cells.push_back(std::move(cell));
+                for (platform::AvailabilityModel avail : grid.avails) {
+                  for (double mtbf : grid.mtbf_tasks) {
+                    for (double outage_frac : grid.outage_fracs) {
+                      ScenarioSpec cell;
+                      cell.index = cells.size();
+                      cell.id = platform::to_string(cls) + "/m" +
+                                std::to_string(slaves) + "/" +
+                                experiments::to_string(arrival) + "/load" +
+                                util::fmt_exact(load) + "/jit" +
+                                util::fmt_exact(jitter) + "/port" +
+                                std::to_string(port) + "/sz-" +
+                                experiments::to_string(mix) + "/av-" +
+                                platform::to_string(avail) + "/mtbf" +
+                                util::fmt_exact(mtbf) + "/of" +
+                                util::fmt_exact(outage_frac);
+                      cell.config.platform_class = cls;
+                      cell.config.num_slaves = slaves;
+                      cell.config.arrival = arrival;
+                      cell.config.load = load;
+                      cell.config.size_jitter = jitter;
+                      cell.config.port_capacity = port;
+                      cell.config.size_mix = mix;
+                      cell.config.avail = avail;
+                      cell.config.mtbf_tasks = mtbf;
+                      cell.config.outage_frac = outage_frac;
+                      cell.config.ipp_amplitude = grid.ipp_amplitude;
+                      cell.config.ipp_period_tasks = grid.ipp_period_tasks;
+                      cell.config.num_platforms = grid.num_platforms;
+                      cell.config.num_tasks = grid.num_tasks;
+                      cell.config.lookahead = grid.lookahead;
+                      cell.config.algorithms = grid.algorithms;
+                      cell.config.ranges = grid.ranges;
+                      cell.config.seed = seeder.child_seed(cell.index);
+                      cells.push_back(std::move(cell));
+                    }
+                  }
+                }
               }
             }
           }
@@ -264,6 +292,16 @@ ScenarioGrid parse_grid(const std::string& text) {
           [](const std::string& t, const std::string&) {
             return parse_size_mix(t);
           });
+    } else if (key == "avail") {
+      grid.avails = parse_list<platform::AvailabilityModel>(
+          value, raw,
+          [](const std::string& t, const std::string&) {
+            return parse_availability(t);
+          });
+    } else if (key == "mtbf_tasks") {
+      grid.mtbf_tasks = parse_list<double>(value, raw, parse_double);
+    } else if (key == "outage_frac") {
+      grid.outage_fracs = parse_list<double>(value, raw, parse_double);
     } else if (key == "ipp_amplitude") {
       grid.ipp_amplitude = parse_double(value, raw);
     } else if (key == "ipp_period_tasks") {
@@ -343,7 +381,22 @@ std::string serialize_grid(const ScenarioGrid& grid) {
   join("sizes", grid.size_mixes,
        [](experiments::TaskSizeMix m) { return experiments::to_string(m); });
 
+  // The availability axes serialize only when they differ from their
+  // singleton defaults: a grid that predates them must keep its exact
+  // canonical text, because grid_config_hash() pins that text in every
+  // checkpoint manifest — emitting `avail = always` unconditionally would
+  // refuse to --resume any run interrupted before the axes existed.
   const ScenarioGrid grid_defaults;
+  if (grid.avails != grid_defaults.avails) {
+    join("avail", grid.avails,
+         [](platform::AvailabilityModel m) { return platform::to_string(m); });
+  }
+  if (grid.mtbf_tasks != grid_defaults.mtbf_tasks) {
+    join("mtbf_tasks", grid.mtbf_tasks, util::fmt_exact);
+  }
+  if (grid.outage_fracs != grid_defaults.outage_fracs) {
+    join("outage_frac", grid.outage_fracs, util::fmt_exact);
+  }
   if (grid.ipp_amplitude != grid_defaults.ipp_amplitude) {
     out << "ipp_amplitude = " << util::fmt_exact(grid.ipp_amplitude) << "\n";
   }

@@ -17,11 +17,12 @@ namespace msol::runner {
 /// examples load from disk.
 ///
 /// Axis order (outermost to innermost) is fixed — class, slaves, arrival,
-/// load, jitter, port, sizes — so a grid expands to the same cell sequence
-/// everywhere: cell indices, and therefore the counter-derived per-cell
-/// seeds, are part of the format's contract. (The `sizes` axis was appended
-/// innermost precisely so that grids which do not sweep it keep the exact
-/// cell indices and seeds they had before it existed.)
+/// load, jitter, port, sizes, avail, mtbf_tasks, outage_frac — so a grid
+/// expands to the same cell sequence everywhere: cell indices, and
+/// therefore the counter-derived per-cell seeds, are part of the format's
+/// contract. (The `sizes` axis, and later the three availability axes,
+/// were appended innermost precisely so that grids which do not sweep them
+/// keep the exact cell indices and seeds they had before they existed.)
 struct ScenarioGrid {
   std::string name = "grid";
   std::uint64_t seed = 2006;
@@ -48,6 +49,12 @@ struct ScenarioGrid {
   std::vector<int> port_capacities = {1};
   std::vector<experiments::TaskSizeMix> size_mixes = {
       experiments::TaskSizeMix::kUnit};
+  /// Time-varying availability axes (appended after `sizes`, innermost
+  /// last, so pre-existing grids keep their cell indices and seeds).
+  std::vector<platform::AvailabilityModel> avails = {
+      platform::AvailabilityModel::kAlways};
+  std::vector<double> mtbf_tasks = {50.0};
+  std::vector<double> outage_fracs = {0.1};
 };
 
 /// One concrete cell of an expanded grid: its position in expansion order,
@@ -95,6 +102,9 @@ std::vector<ScenarioSpec> shard_cells(std::vector<ScenarioSpec> cells,
 ///   jitter = 0, 0.1
 ///   port = 1
 ///   sizes = unit, pareto
+///   avail = always, churn
+///   mtbf_tasks = 50, 200
+///   outage_frac = 0.1
 ///   ipp_amplitude = 0.9
 ///   ipp_period_tasks = 50
 ///   algorithms = SRPT, LS, RR
@@ -118,5 +128,6 @@ std::string to_string(const std::vector<std::string>& values);
 platform::PlatformClass parse_platform_class(const std::string& token);
 experiments::ArrivalProcess parse_arrival(const std::string& token);
 experiments::TaskSizeMix parse_size_mix(const std::string& token);
+platform::AvailabilityModel parse_availability(const std::string& token);
 
 }  // namespace msol::runner

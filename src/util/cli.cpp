@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace msol::util {
@@ -75,9 +76,17 @@ double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stod(it->second);
+    // stod stops at the first non-numeric character, so "0.5x" would parse
+    // as 0.5; require full consumption and a finite value ("inf"/"nan" are
+    // never meaningful knob settings), matching get_uint64's strictness.
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size() || !std::isfinite(value)) {
+      throw std::invalid_argument(it->second);
+    }
+    return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects a number, got '" +
+    throw std::invalid_argument("--" + key + " expects a finite number, got '" +
                                 it->second + "'");
   }
 }

@@ -130,6 +130,15 @@ Scenario make_scenario(std::uint64_t seed) {
         static_cast<SlaveId>(rng.uniform_int(0, m - 1)), begin,
         begin + rng.uniform(0.5, 20.0), rng.uniform(1.0, 4.0)});
   }
+  // A third of the cases carry trivial (all-empty) availability profiles:
+  // "availability disabled" must mean *disabled* — same closed-form path,
+  // bit-identical to the reference — not merely "no outages happen to
+  // fire". Derived from the seed, not the rng, so the other draws above
+  // stay exactly what they were before this option existed.
+  if (seed % 3 == 0) {
+    options.availability.assign(static_cast<std::size_t>(m),
+                                platform::AvailabilityProfile{});
+  }
 
   const auto& names = fuzz_schedulers();
   Scenario scenario{std::move(plat), std::move(work), std::move(options),

@@ -32,12 +32,21 @@ class ChaoticScheduler : public OnlineScheduler {
       return WaitUntil{engine.now() + rng_.uniform(0.01, 0.5)};
     }
     // Assigning from an arbitrary position (not just the front) exercises
-    // the engine's indexed pending-set erase.
+    // the engine's indexed pending-set erase. Only online slaves are legal
+    // targets; with the whole fleet down, stall until something changes
+    // (an up-transition is a wake-up).
+    std::vector<SlaveId> online;
+    for (SlaveId j = 0; j < engine.platform().size(); ++j) {
+      if (engine.is_available(j)) online.push_back(j);
+    }
+    if (online.empty()) {
+      return WaitUntil{engine.now() + rng_.uniform(0.01, 0.5)};
+    }
     const std::vector<TaskId> pending = engine.pending_tasks();
     const std::size_t pick = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
-    const SlaveId slave = static_cast<SlaveId>(
-        rng_.uniform_int(0, engine.platform().size() - 1));
+    const SlaveId slave = online[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(online.size()) - 1))];
     return Assign{pending[pick], slave};
   }
 
@@ -61,6 +70,23 @@ TEST_P(EngineFuzz, ChaoticRunsStayFeasible) {
         static_cast<SlaveId>(rng.uniform_int(0, m - 1)),
         rng.uniform(0.0, 5.0), rng.uniform(5.0, 30.0),
         rng.uniform(1.0, 4.0)});
+  }
+  // Half the runs get a time-varying platform: random outage/drift
+  // profiles stress re-dispatch, piecewise compute and the offline-skip
+  // contract, and the from-scratch validator must still accept the result.
+  if (rng.chance(0.5)) {
+    const platform::AvailabilityModel models[] = {
+        platform::AvailabilityModel::kRareOutage,
+        platform::AvailabilityModel::kChurn,
+        platform::AvailabilityModel::kDrift};
+    // Named locals: function-argument evaluation order is unspecified, and
+    // a seed must reproduce the same scenario on every compiler.
+    const platform::AvailabilityModel model = models[rng.uniform_int(0, 2)];
+    const double mtbf = rng.uniform(1.0, 10.0);
+    const double outage_frac = rng.uniform(0.05, 0.5);
+    const double horizon = rng.uniform(10.0, 60.0);
+    options.availability = platform::generate_availability(
+        model, m, mtbf, outage_frac, horizon, rng);
   }
 
   ChaoticScheduler policy(rng.engine()());
@@ -118,7 +144,7 @@ TEST_P(EngineFuzz, ChaoticRunsStayFeasible) {
   // objective dominates its closed-form lower bound on a pristine platform.
   EXPECT_NEAR(engine.now(),
               std::max(engine.schedule().makespan(), engine.now()), 1e-9);
-  if (options.slowdowns.empty()) {
+  if (options.slowdowns.empty() && options.availability.empty()) {
     const offline::LowerBounds lb = offline::lower_bounds(plat, realized);
     EXPECT_GE(engine.schedule().makespan(), lb.makespan - 1e-6);
     EXPECT_GE(engine.schedule().sum_flow(), lb.sum_flow - 1e-6);

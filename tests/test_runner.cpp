@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "runner/checkpoint.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/scenario.hpp"
@@ -413,6 +416,139 @@ TEST(ParallelRunner, SkipSetBypassesCellsButKeepsEmissionOrder) {
     }
   }
   EXPECT_EQ(emitted, (std::vector<std::size_t>{1, 2, 4, 5, 6}));
+}
+
+// --------------------------------------------------------- availability ----
+
+/// 4-cell grid under aggressive churn: outages hit mid-campaign, so any
+/// thread- or resume-dependent state in the availability path would show
+/// up as byte differences below.
+ScenarioGrid churn_grid() {
+  ScenarioGrid grid;
+  grid.name = "churn";
+  grid.seed = 23;
+  grid.num_platforms = 2;
+  grid.num_tasks = 50;
+  grid.lookahead = 50;
+  grid.algorithms = {"LS", "SRPT"};
+  grid.classes = {PlatformClass::kFullyHeterogeneous};
+  grid.slave_counts = {3};
+  grid.arrivals = {ArrivalProcess::kPoisson};
+  grid.loads = {0.9};
+  grid.jitters = {0.0};
+  grid.port_capacities = {1};
+  grid.avails = {platform::AvailabilityModel::kAlways,
+                 platform::AvailabilityModel::kChurn,
+                 platform::AvailabilityModel::kRareOutage,
+                 platform::AvailabilityModel::kDrift};
+  grid.mtbf_tasks = {12.0};
+  grid.outage_fracs = {0.3};
+  return grid;
+}
+
+TEST(GridFormat, ParsesAvailabilityAxes) {
+  const ScenarioGrid grid = parse_grid(
+      "name = avail\n"
+      "avail = always, rare-outage, churn, drift\n"
+      "mtbf_tasks = 25, 100\n"
+      "outage_frac = 0.2\n");
+  ASSERT_EQ(grid.avails.size(), 4u);
+  EXPECT_EQ(grid.avails[2], platform::AvailabilityModel::kChurn);
+  EXPECT_EQ(grid.mtbf_tasks, (std::vector<double>{25.0, 100.0}));
+  EXPECT_EQ(grid.outage_fracs, (std::vector<double>{0.2}));
+  EXPECT_EQ(cell_count(grid), 8u);  // 4 avail x 2 mtbf
+
+  const std::vector<ScenarioSpec> cells = expand(grid);
+  // The availability axes are innermost: mtbf varies fastest, then avail.
+  EXPECT_EQ(cells[0].config.avail, platform::AvailabilityModel::kAlways);
+  EXPECT_DOUBLE_EQ(cells[0].config.mtbf_tasks, 25.0);
+  EXPECT_DOUBLE_EQ(cells[1].config.mtbf_tasks, 100.0);
+  EXPECT_EQ(cells[2].config.avail, platform::AvailabilityModel::kRareOutage);
+  EXPECT_NE(cells[4].id.find("/av-churn"), std::string::npos);
+  EXPECT_THROW(parse_grid("avail = sometimes\n"), std::invalid_argument);
+}
+
+TEST(GridFormat, AvailabilityAxesDoNotShiftExistingCellSeeds) {
+  // Appended innermost with singleton defaults: a grid that predates the
+  // axes keeps its exact indices and counter-derived seeds.
+  const ScenarioGrid grid = small_grid();
+  ASSERT_EQ(grid.avails.size(), 1u);
+  ASSERT_EQ(grid.mtbf_tasks.size(), 1u);
+  ASSERT_EQ(grid.outage_fracs.size(), 1u);
+  EXPECT_EQ(cell_count(grid), 8u);
+  const std::vector<ScenarioSpec> cells = expand(grid);
+  const util::Rng seeder(grid.seed);
+  for (const ScenarioSpec& cell : cells) {
+    EXPECT_EQ(cell.config.seed, seeder.child_seed(cell.index));
+  }
+}
+
+TEST(ParallelRunner, ChurnGridBitIdenticalAcrossThreadCounts) {
+  const ScenarioGrid grid = churn_grid();
+  const std::string one = run_to_csv(grid, 1);
+  const std::string four = run_to_csv(grid, 4);
+  EXPECT_EQ(one, four);
+  // The disrupted cells must actually report disruptions: at least one
+  // churn/rare-outage row carries a non-zero redispatches_mean.
+  MemorySink memory;
+  ParallelRunner runner;
+  runner.run(grid, {&memory});
+  double redispatches = 0.0;
+  for (const ResultRecord& record : memory.records()) {
+    redispatches += record.result.redispatches.mean;
+    if (record.avail == platform::AvailabilityModel::kAlways) {
+      EXPECT_EQ(record.result.redispatches.mean, 0.0);
+      EXPECT_EQ(record.result.lost_work.mean, 0.0);
+    }
+  }
+  EXPECT_GT(redispatches, 0.0);
+}
+
+TEST(Checkpoint, ChurnRunResumesByteIdenticalAfterMidRunKill) {
+  // The ISSUE's regression bar: kill a churny grid mid-run, resume, and
+  // the output bytes must equal an uninterrupted run's.
+  const ScenarioGrid grid = churn_grid();
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "msol_churn_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto read_all = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+
+  CheckpointOptions ref;
+  ref.csv_path = (dir / "ref.csv").string();
+  ref.manifest_path = (dir / "ref.manifest").string();
+  ref.runner.threads = 2;
+  run_checkpointed(grid, ref);
+
+  struct KillAfterCells : ResultSink {
+    explicit KillAfterCells(std::size_t allowed) : allowed_(allowed) {}
+    void consume(const ResultRecord&) override {}
+    void cell_complete(std::size_t, std::size_t) override {
+      if (++seen_ > allowed_) throw std::runtime_error("simulated kill");
+    }
+    std::size_t allowed_;
+    std::size_t seen_ = 0;
+  } killer(1);
+
+  CheckpointOptions options;
+  options.csv_path = (dir / "out.csv").string();
+  options.manifest_path = (dir / "out.manifest").string();
+  options.runner.threads = 2;
+  options.extra_sinks.push_back(&killer);
+  EXPECT_THROW(run_checkpointed(grid, options), std::runtime_error);
+
+  options.extra_sinks.clear();
+  options.resume = true;
+  const RunReport report = run_checkpointed(grid, options);
+  EXPECT_GT(report.skipped, 0u) << "the kill should have left committed cells";
+  EXPECT_EQ(read_all(dir / "out.csv"), read_all(dir / "ref.csv"));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Sinks, EmptyGridStillWritesCsvHeader) {

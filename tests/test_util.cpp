@@ -248,6 +248,22 @@ TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
 }
 
+TEST(Cli, GetDoubleRejectsTrailingJunkAndNonFiniteValues) {
+  // stod alone stops at the first bad character, so "--load 0.5x" silently
+  // parsed as 0.5; full-consumption and finiteness are now required, the
+  // same strictness get_uint64 applies.
+  const char* argv[] = {"prog",       "--load=0.5x", "--inf=inf",
+                        "--nan=nan",  "--neg=-inf",  "--empty=",
+                        "--ok=-2.5e3"};
+  Cli cli(7, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("ok", 0.0), -2500.0);
+  EXPECT_THROW(cli.get_double("load", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("inf", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("nan", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("neg", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("empty", 0.0), std::invalid_argument);
+}
+
 TEST(Cli, GetUint64CoversFullRangeAndRejectsNegatives) {
   const char* argv[] = {"prog", "--seed=18446744073709551615", "--bad=-1",
                         "--junk=12x", "--shards=4"};

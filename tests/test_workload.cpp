@@ -154,6 +154,36 @@ TEST(Workload, InhomogeneousPoissonIsBurstierThanHomogeneous) {
             1.2 * hom_var / (hom_mean * hom_mean));
 }
 
+TEST(Workload, InhomogeneousPoissonNeverEmitsAtZeroIntensity) {
+  // Regression for the thinning acceptance test: at full modulation the
+  // trough intensity is exactly 0 and `u * peak <= rate` accepted a drawn
+  // u == 0.0 there — a task emitted at an instant of provably zero rate.
+  // The strict `<` makes zero-rate instants unreachable; every accepted
+  // arrival must sit at strictly positive intensity, and deep troughs must
+  // stay (near-)empty of arrivals.
+  const double base_rate = 2.0;
+  const double period = 10.0;
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  int deep_trough_arrivals = 0;
+  int total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(900 + seed);
+    const Workload w =
+        Workload::inhomogeneous_poisson(300, base_rate, 1.0, period, rng);
+    ASSERT_EQ(w.size(), 300);
+    for (TaskId i = 0; i < w.size(); ++i) {
+      const double t = w.at(i).release;
+      const double rate = base_rate * (1.0 + std::sin(two_pi * t / period));
+      EXPECT_GT(rate, 0.0) << "arrival at zero-intensity instant t=" << t;
+      // Fraction of the cycle where intensity < 2% of base: acceptance
+      // probability < 1%, so arrivals there must be vanishingly rare.
+      if (rate < 0.02 * base_rate) ++deep_trough_arrivals;
+      ++total;
+    }
+  }
+  EXPECT_LE(deep_trough_arrivals, total / 100);
+}
+
 TEST(Workload, InhomogeneousPoissonRejectsBadParameters) {
   util::Rng rng(8);
   EXPECT_THROW(Workload::inhomogeneous_poisson(10, 0.0, 0.5, 1.0, rng),
