@@ -7,7 +7,6 @@
 
 #include <iostream>
 
-#include "algorithms/randomized_ls.hpp"
 #include "algorithms/registry.hpp"
 #include "theory/adversary.hpp"
 #include "util/cli.hpp"
@@ -34,8 +33,10 @@ int main(int argc, char** argv) {
     std::vector<double> ratios;
     ratios.reserve(static_cast<std::size_t>(seeds));
     for (int seed = 0; seed < seeds; ++seed) {
-      algorithms::RandomizedLs rls(theta, static_cast<std::uint64_t>(seed));
-      ratios.push_back(adversary->run(rls).ratio);
+      const auto rls = algorithms::make_scheduler(
+          "RLS+eps:" + util::fmt_exact(theta), 1000,
+          static_cast<std::uint64_t>(seed));
+      ratios.push_back(adversary->run(*rls).ratio);
     }
     const util::Summary summary = util::summarize(ratios);
     table.add_row({std::to_string(info.number), to_string(info.objective),

@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "algorithms/registry.hpp"
-#include "algorithms/weighted_round_robin.hpp"
+#include "algorithms/policy.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
 #include "experiments/campaign.hpp"
@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
     const double target_rate = cli.get_double("throughput", 0.0);
 
     std::cout << "candidate pool: " << pool.describe() << "\n";
-    const std::vector<double> shares =
-        algorithms::WeightedRoundRobin::shares(pool);
+    const std::vector<double> shares = algorithms::wrr_shares(pool);
 
     // Grow the platform one slave at a time, best marginal throughput
     // first (which is exactly the order the LP saturates links in).

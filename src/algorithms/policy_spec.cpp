@@ -1,0 +1,387 @@
+#include "algorithms/policy_spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace msol::algorithms {
+
+bool operator==(const PolicySpec& a, const PolicySpec& b) {
+  return a.filter == b.filter && a.throttle_k == b.throttle_k &&
+         a.quota_slack == b.quota_slack && a.ranker == b.ranker &&
+         a.lookahead == b.lookahead && a.tie == b.tie && a.eps == b.eps &&
+         a.seed == b.seed && a.gate == b.gate && a.batch_n == b.batch_n &&
+         a.pace_dt == b.pace_dt;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& text, const std::string& why) {
+  throw std::invalid_argument("policy spec '" + text + "': " + why);
+}
+
+/// Strict full-string parses: "2junk" and "" are errors, never silent
+/// prefixes (the legacy LS-K stoi bug this layer replaces).
+std::int64_t parse_int_strict(const std::string& token,
+                              const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail(text, "bad integer '" + token + "'");
+  }
+}
+
+std::uint64_t parse_u64_strict(const std::string& token,
+                               const std::string& text) {
+  try {
+    if (!token.empty() && token[0] == '-') throw std::invalid_argument(token);
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail(text, "bad unsigned integer '" + token + "'");
+  }
+}
+
+double parse_double_strict(const std::string& token, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(token);
+    }
+    return v;
+  } catch (const std::exception&) {
+    fail(text, "bad number '" + token + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(begin));
+      return out;
+    }
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+/// Expands a legacy registry name into its canonical components, or
+/// returns false if `token` is not one. `lookahead`/`seed` are the
+/// make_scheduler() defaults the monolithic classes received.
+bool expand_legacy_name(const std::string& token, int lookahead,
+                        std::uint64_t seed, const std::string& text,
+                        PolicySpec& spec) {
+  spec = PolicySpec{};
+  spec.lookahead = lookahead;
+  spec.seed = seed;
+  if (token == "SRPT") {
+    spec.filter = FilterKind::kFree;
+    spec.ranker = RankerKind::kComp;
+    spec.tie = TieKind::kFastLink;
+  } else if (token == "LS") {
+    spec.ranker = RankerKind::kCompletion;
+  } else if (token == "RR") {
+    spec.ranker = RankerKind::kCyclicCommComp;
+  } else if (token == "RRC") {
+    spec.ranker = RankerKind::kCyclicComm;
+  } else if (token == "RRP") {
+    spec.ranker = RankerKind::kCyclicComp;
+  } else if (token == "SLJF") {
+    spec.ranker = RankerKind::kPlanSljf;
+  } else if (token == "SLJFWC") {
+    spec.ranker = RankerKind::kPlanSljfwc;
+  } else if (token == "RANDOM") {
+    spec.ranker = RankerKind::kConst;
+    spec.tie = TieKind::kRng;
+  } else if (token == "MINREADY") {
+    spec.ranker = RankerKind::kReady;
+  } else if (token == "WRR") {
+    spec.ranker = RankerKind::kWrr;
+  } else if (token == "RLS") {
+    spec.ranker = RankerKind::kCompletion;
+    spec.tie = TieKind::kRng;
+    spec.eps = 0.15;
+  } else if (token.rfind("LS-K", 0) == 0) {
+    const std::int64_t k = parse_int_strict(token.substr(4), text);
+    if (k < 1) fail(text, "LS-K cap must be >= 1");
+    spec.filter = FilterKind::kThrottle;
+    spec.throttle_k = static_cast<int>(k);
+    spec.ranker = RankerKind::kCompletion;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void apply_filter_clause(const std::vector<std::string>& parts,
+                         const std::string& text, PolicySpec& spec) {
+  const std::string& which = parts[1];
+  if (which == "all" || which == "free") {
+    if (parts.size() != 2) fail(text, "filter:" + which + " takes no args");
+    spec.filter = which == "all" ? FilterKind::kAll : FilterKind::kFree;
+  } else if (which == "throttle") {
+    if (parts.size() != 3) fail(text, "filter:throttle needs a cap");
+    const std::int64_t k = parse_int_strict(parts[2], text);
+    if (k < 1) fail(text, "throttle cap must be >= 1");
+    spec.filter = FilterKind::kThrottle;
+    spec.throttle_k = static_cast<int>(k);
+  } else if (which == "quota") {
+    if (parts.size() > 3) fail(text, "filter:quota takes at most one arg");
+    spec.filter = FilterKind::kQuota;
+    if (parts.size() == 3) {
+      const double slack = parse_double_strict(parts[2], text);
+      if (slack <= 0.0) fail(text, "quota slack must be > 0");
+      spec.quota_slack = slack;
+    }
+  } else {
+    fail(text, "unknown filter '" + which + "'");
+  }
+}
+
+void apply_rank_clause(const std::vector<std::string>& parts,
+                       const std::string& text, PolicySpec& spec) {
+  const std::string& which = parts[1];
+  if (which == "cyclic") {
+    if (parts.size() != 3) fail(text, "rank:cyclic needs an ordering");
+    if (parts[2] == "commcomp") {
+      spec.ranker = RankerKind::kCyclicCommComp;
+    } else if (parts[2] == "comm") {
+      spec.ranker = RankerKind::kCyclicComm;
+    } else if (parts[2] == "comp") {
+      spec.ranker = RankerKind::kCyclicComp;
+    } else {
+      fail(text, "unknown cyclic ordering '" + parts[2] + "'");
+    }
+    return;
+  }
+  if (which == "plan") {
+    if (parts.size() != 3 && parts.size() != 4) {
+      fail(text, "rank:plan needs a planner (and optional lookahead)");
+    }
+    if (parts[2] == "sljf") {
+      spec.ranker = RankerKind::kPlanSljf;
+    } else if (parts[2] == "sljfwc") {
+      spec.ranker = RankerKind::kPlanSljfwc;
+    } else {
+      fail(text, "unknown planner '" + parts[2] + "'");
+    }
+    if (parts.size() == 4) {
+      const std::int64_t k = parse_int_strict(parts[3], text);
+      if (k < 0) fail(text, "lookahead must be >= 0");
+      spec.lookahead = static_cast<int>(k);
+    }
+    return;
+  }
+  if (parts.size() != 2) fail(text, "rank:" + which + " takes no args");
+  if (which == "completion") {
+    spec.ranker = RankerKind::kCompletion;
+  } else if (which == "ready") {
+    spec.ranker = RankerKind::kReady;
+  } else if (which == "comp") {
+    spec.ranker = RankerKind::kComp;
+  } else if (which == "comm") {
+    spec.ranker = RankerKind::kComm;
+  } else if (which == "commcomp") {
+    spec.ranker = RankerKind::kCommComp;
+  } else if (which == "queue") {
+    spec.ranker = RankerKind::kQueue;
+  } else if (which == "const") {
+    spec.ranker = RankerKind::kConst;
+  } else if (which == "wrr") {
+    spec.ranker = RankerKind::kWrr;
+  } else {
+    fail(text, "unknown ranker '" + which + "'");
+  }
+}
+
+void apply_tie_clause(const std::vector<std::string>& parts,
+                      const std::string& text, PolicySpec& spec) {
+  const std::string& which = parts[1];
+  if (which == "index" || which == "fastlink") {
+    if (parts.size() != 2) fail(text, "tie:" + which + " takes no args");
+    spec.tie = which == "index" ? TieKind::kIndex : TieKind::kFastLink;
+  } else if (which == "rng") {
+    if (parts.size() > 3) fail(text, "tie:rng takes at most a seed");
+    spec.tie = TieKind::kRng;
+    if (parts.size() == 3) spec.seed = parse_u64_strict(parts[2], text);
+  } else {
+    fail(text, "unknown tie-break '" + which + "'");
+  }
+}
+
+void apply_gate_clause(const std::vector<std::string>& parts,
+                       const std::string& text, PolicySpec& spec) {
+  const std::string& which = parts[1];
+  if (which == "always") {
+    if (parts.size() != 2) fail(text, "gate:always takes no args");
+    spec.gate = GateKind::kAlways;
+  } else if (which == "batch") {
+    if (parts.size() != 3) fail(text, "gate:batch needs a threshold");
+    const std::int64_t n = parse_int_strict(parts[2], text);
+    if (n < 1) fail(text, "batch threshold must be >= 1");
+    spec.gate = GateKind::kBatch;
+    spec.batch_n = static_cast<int>(n);
+  } else if (which == "pace") {
+    if (parts.size() != 3) fail(text, "gate:pace needs a minimum gap");
+    const double dt = parse_double_strict(parts[2], text);
+    if (dt <= 0.0) fail(text, "pace gap must be > 0");
+    spec.gate = GateKind::kPace;
+    spec.pace_dt = dt;
+  } else {
+    fail(text, "unknown gate '" + which + "'");
+  }
+}
+
+}  // namespace
+
+PolicySpec parse_policy_spec(const std::string& text, int lookahead,
+                             std::uint64_t seed) {
+  if (text.empty()) fail(text, "empty spec");
+  PolicySpec spec;
+  spec.lookahead = lookahead;
+  spec.seed = seed;
+
+  const std::vector<std::string> clauses = split(text, '+');
+  std::size_t first = 0;
+  if (expand_legacy_name(clauses[0], lookahead, seed, text, spec)) {
+    first = 1;
+  }
+  for (std::size_t i = first; i < clauses.size(); ++i) {
+    const std::vector<std::string> parts = split(clauses[i], ':');
+    const std::string& key = parts[0];
+    if (parts.size() < 2) {
+      fail(text, "expected key:value clause, got '" + clauses[i] + "'" +
+                     (i == 0 ? " (not a registry name either)" : ""));
+    }
+    if (key == "filter") {
+      apply_filter_clause(parts, text, spec);
+    } else if (key == "rank") {
+      apply_rank_clause(parts, text, spec);
+    } else if (key == "tie") {
+      apply_tie_clause(parts, text, spec);
+    } else if (key == "gate") {
+      apply_gate_clause(parts, text, spec);
+    } else if (key == "throttle" && parts.size() == 2) {
+      apply_filter_clause({"filter", "throttle", parts[1]}, text, spec);
+    } else if (key == "quota" && parts.size() == 2) {
+      apply_filter_clause({"filter", "quota", parts[1]}, text, spec);
+    } else if (key == "lookahead" && parts.size() == 2) {
+      const std::int64_t k = parse_int_strict(parts[1], text);
+      if (k < 0) fail(text, "lookahead must be >= 0");
+      spec.lookahead = static_cast<int>(k);
+    } else if (key == "eps" && parts.size() == 2) {
+      const double theta = parse_double_strict(parts[1], text);
+      if (theta < 0.0) fail(text, "eps must be >= 0");
+      spec.eps = theta;
+    } else if (key == "seed" && parts.size() == 2) {
+      spec.seed = parse_u64_strict(parts[1], text);
+    } else if (key == "batch" && parts.size() == 2) {
+      apply_gate_clause({"gate", "batch", parts[1]}, text, spec);
+    } else if (key == "pace" && parts.size() == 2) {
+      apply_gate_clause({"gate", "pace", parts[1]}, text, spec);
+    } else {
+      fail(text, "unknown clause '" + clauses[i] + "'");
+    }
+  }
+  // Normalize parameters a clause made inert ("LS-K3+filter:all" leaves a
+  // stale throttle cap behind): otherwise equal compositions must compare
+  // equal and serialize identically.
+  const PolicySpec defaults;
+  if (spec.filter != FilterKind::kThrottle) spec.throttle_k = defaults.throttle_k;
+  if (spec.filter != FilterKind::kQuota) spec.quota_slack = defaults.quota_slack;
+  if (spec.gate != GateKind::kBatch) spec.batch_n = defaults.batch_n;
+  if (spec.gate != GateKind::kPace) spec.pace_dt = defaults.pace_dt;
+  if (spec.tie != TieKind::kRng) spec.seed = defaults.seed;
+  if (spec.ranker != RankerKind::kPlanSljf &&
+      spec.ranker != RankerKind::kPlanSljfwc) {
+    spec.lookahead = defaults.lookahead;
+  }
+  return spec;
+}
+
+std::string to_string(const PolicySpec& spec) {
+  std::string out = "filter:";
+  switch (spec.filter) {
+    case FilterKind::kAll: out += "all"; break;
+    case FilterKind::kFree: out += "free"; break;
+    case FilterKind::kThrottle:
+      out += "throttle:" + std::to_string(spec.throttle_k);
+      break;
+    case FilterKind::kQuota:
+      out += "quota:" + util::fmt_exact(spec.quota_slack);
+      break;
+  }
+  out += "+rank:";
+  switch (spec.ranker) {
+    case RankerKind::kCompletion: out += "completion"; break;
+    case RankerKind::kReady: out += "ready"; break;
+    case RankerKind::kComp: out += "comp"; break;
+    case RankerKind::kComm: out += "comm"; break;
+    case RankerKind::kCommComp: out += "commcomp"; break;
+    case RankerKind::kQueue: out += "queue"; break;
+    case RankerKind::kConst: out += "const"; break;
+    case RankerKind::kWrr: out += "wrr"; break;
+    case RankerKind::kCyclicCommComp: out += "cyclic:commcomp"; break;
+    case RankerKind::kCyclicComm: out += "cyclic:comm"; break;
+    case RankerKind::kCyclicComp: out += "cyclic:comp"; break;
+    case RankerKind::kPlanSljf:
+      out += "plan:sljf:" + std::to_string(spec.lookahead);
+      break;
+    case RankerKind::kPlanSljfwc:
+      out += "plan:sljfwc:" + std::to_string(spec.lookahead);
+      break;
+  }
+  if (spec.eps != 0.0) out += "+eps:" + util::fmt_exact(spec.eps);
+  out += "+tie:";
+  switch (spec.tie) {
+    case TieKind::kIndex: out += "index"; break;
+    case TieKind::kFastLink: out += "fastlink"; break;
+    case TieKind::kRng: out += "rng:" + std::to_string(spec.seed); break;
+  }
+  out += "+gate:";
+  switch (spec.gate) {
+    case GateKind::kAlways: out += "always"; break;
+    case GateKind::kBatch: out += "batch:" + std::to_string(spec.batch_n); break;
+    case GateKind::kPace: out += "pace:" + util::fmt_exact(spec.pace_dt); break;
+  }
+  return out;
+}
+
+std::string canonical_name(const PolicySpec& spec) {
+  // Seeds never change *what* a legacy policy is (the monoliths kept their
+  // name under any seed), and SLJF at any lookahead is still SLJF, so the
+  // match compares everything else against the name's canonical expansion.
+  const auto matches = [&spec](const PolicySpec& proto) {
+    PolicySpec a = spec, b = proto;
+    a.seed = b.seed = 0;
+    a.lookahead = b.lookahead = 0;
+    return a == b;
+  };
+  for (const char* name :
+       {"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC", "RANDOM",
+        "MINREADY", "WRR", "RLS"}) {
+    PolicySpec proto;
+    expand_legacy_name(name, 0, 0, name, proto);
+    if (matches(proto)) return name;
+  }
+  if (spec.filter == FilterKind::kThrottle) {
+    PolicySpec proto;
+    expand_legacy_name("LS-K" + std::to_string(spec.throttle_k), 0, 0, "",
+                       proto);
+    if (matches(proto)) return "LS-K" + std::to_string(spec.throttle_k);
+  }
+  return "";
+}
+
+}  // namespace msol::algorithms

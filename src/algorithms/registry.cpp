@@ -1,44 +1,20 @@
 #include "algorithms/registry.hpp"
 
-#include <stdexcept>
-
-#include "algorithms/list_scheduling.hpp"
-#include "algorithms/min_ready.hpp"
-#include "algorithms/random_assign.hpp"
-#include "algorithms/randomized_ls.hpp"
-#include "algorithms/round_robin.hpp"
-#include "algorithms/sljf.hpp"
-#include "algorithms/srpt.hpp"
-#include "algorithms/throttled_ls.hpp"
-#include "algorithms/weighted_round_robin.hpp"
+#include "algorithms/policy.hpp"
+#include "algorithms/policy_spec.hpp"
 
 namespace msol::algorithms {
 
 std::unique_ptr<core::OnlineScheduler> make_scheduler(const std::string& name,
                                                       int lookahead,
                                                       std::uint64_t seed) {
-  if (name == "SRPT") return std::make_unique<Srpt>();
-  if (name == "LS") return std::make_unique<ListScheduling>();
-  if (name == "RR") {
-    return std::make_unique<RoundRobin>(RoundRobinOrder::kCommPlusComp);
-  }
-  if (name == "RRC") return std::make_unique<RoundRobin>(RoundRobinOrder::kComm);
-  if (name == "RRP") return std::make_unique<RoundRobin>(RoundRobinOrder::kComp);
-  if (name == "SLJF") return std::make_unique<Sljf>(lookahead);
-  if (name == "SLJFWC") return std::make_unique<Sljfwc>(lookahead);
-  if (name == "RANDOM") return std::make_unique<RandomAssign>(seed);
-  if (name == "MINREADY") return std::make_unique<MinReady>();
-  if (name == "WRR") return std::make_unique<WeightedRoundRobin>();
-  if (name == "RLS") return std::make_unique<RandomizedLs>(0.15, seed);
-  if (name.rfind("LS-K", 0) == 0) {
-    try {
-      return std::make_unique<ThrottledLs>(std::stoi(name.substr(4)));
-    } catch (const std::logic_error&) {
-      // fall through to the unknown-name error with the original string
-    }
-  }
-  throw std::invalid_argument("make_scheduler: unknown algorithm '" + name +
-                              "'");
+  return std::make_unique<ComposedPolicy>(
+      parse_policy_spec(name, lookahead, seed));
+}
+
+std::string canonical_spec(const std::string& name, int lookahead,
+                           std::uint64_t seed) {
+  return to_string(parse_policy_spec(name, lookahead, seed));
 }
 
 std::vector<std::string> paper_algorithm_names() {
@@ -50,6 +26,13 @@ std::vector<std::string> extended_algorithm_names() {
   names.push_back("WRR");
   names.push_back("MINREADY");
   names.push_back("RANDOM");
+  return names;
+}
+
+std::vector<std::string> listed_algorithm_names() {
+  std::vector<std::string> names = extended_algorithm_names();
+  names.push_back("RLS");
+  names.push_back("LS-K2");
   return names;
 }
 

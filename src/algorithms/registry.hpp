@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,13 +9,24 @@
 
 namespace msol::algorithms {
 
-/// Instantiates a scheduler by its paper name: "SRPT", "LS", "RR", "RRC",
-/// "RRP", "SLJF", "SLJFWC", "RANDOM" — or a library addition: "WRR",
-/// "MINREADY", and "LS-K<k>" (list scheduling throttled to at most k
-/// uncompleted tasks per slave). `lookahead` configures the SLJF variants,
-/// `seed` configures RANDOM. Throws std::invalid_argument on unknown names.
+/// Instantiates a scheduler from a paper name — "SRPT", "LS", "RR", "RRC",
+/// "RRP", "SLJF", "SLJFWC", "RANDOM" — a library addition — "WRR",
+/// "MINREADY", "RLS", "LS-K<k>" — or any policy-spec string in the
+/// composable mini-language of policy_spec.hpp (e.g. "SRPT+throttle:2" or
+/// "rank:completion+eps:0.15+tie:rng"). Every name routes through
+/// ComposedPolicy; the legacy names are canonical compositions and stay
+/// bit-identical to their historical monolithic classes (pinned by the
+/// golden traces and the differential suite). `lookahead` configures the
+/// SLJF variants, `seed` the rng tie-breaks (RANDOM/RLS); explicit spec
+/// clauses override both. Throws std::invalid_argument on unknown names
+/// and malformed specs (including "LS-K2junk" and k <= 0).
 std::unique_ptr<core::OnlineScheduler> make_scheduler(
     const std::string& name, int lookahead = 1000, std::uint64_t seed = 42);
+
+/// Canonical component decomposition of a registry name or spec string,
+/// serialized (what --list-algorithms prints and result sinks echo).
+std::string canonical_spec(const std::string& name, int lookahead = 1000,
+                           std::uint64_t seed = 42);
 
 /// The seven algorithms of the paper's Section 4, in figure order.
 std::vector<std::string> paper_algorithm_names();
@@ -23,6 +35,10 @@ std::vector<std::string> paper_algorithm_names();
 /// optimal weighted round robin), "MINREADY" (the intro's homogeneous-
 /// optimal rule), and the "RANDOM" floor baseline.
 std::vector<std::string> extended_algorithm_names();
+
+/// Every named registry entry for listings: the extended names plus "RLS"
+/// and a representative "LS-K2" (any "LS-K<k>" parses).
+std::vector<std::string> listed_algorithm_names();
 
 /// Fresh instances of the paper's seven algorithms.
 std::vector<std::unique_ptr<core::OnlineScheduler>> paper_algorithms(

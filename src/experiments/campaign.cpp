@@ -205,6 +205,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     const RawValues& values = raw.at(name);
     AlgorithmResult r;
     r.name = name;
+    r.spec = algorithms::canonical_spec(name, config.lookahead);
     r.makespan = util::summarize(values.makespan);
     r.max_flow = util::summarize(values.max_flow);
     r.sum_flow = util::summarize(values.sum_flow);

@@ -74,6 +74,10 @@ struct CampaignConfig {
 /// Aggregates for one algorithm across the campaign's platforms.
 struct AlgorithmResult {
   std::string name;
+  /// Canonical policy-spec decomposition of `name` (filter/rank/tie/gate
+  /// clauses, see algorithms/policy_spec.hpp), echoed by the result sinks
+  /// so sweep outputs are self-describing.
+  std::string spec;
   util::Summary makespan;   ///< raw values
   util::Summary max_flow;
   util::Summary sum_flow;

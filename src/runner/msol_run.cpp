@@ -4,6 +4,7 @@
 //            [--shards K --shard-index I] [--resume] [--manifest FILE]
 //            [--dry-run] [--print-grid] [--quiet]
 //   msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...
+//   msol_run --list-algorithms
 //
 // Loads a declarative scenario grid (see src/runner/scenario.hpp for the
 // format), executes every cell on a worker pool, and writes one record per
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "algorithms/registry.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/result_sink.hpp"
@@ -39,6 +41,7 @@ constexpr const char* kUsage =
     "                [--shards K --shard-index I] [--resume]\n"
     "                [--manifest FILE] [--dry-run] [--print-grid] [--quiet]\n"
     "       msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...\n"
+    "       msol_run --list-algorithms\n"
     "\n"
     "  --threads N       worker threads (default 1; 0 = all hardware threads)\n"
     "  --csv FILE        write one CSV row per (cell, algorithm); '-' = stdout\n"
@@ -53,13 +56,17 @@ constexpr const char* kUsage =
     "  --quiet           suppress the progress line\n"
     "\n"
     "  merge             interleave per-shard outputs back into canonical\n"
-    "                    single-run order (byte-identical to unsharded)\n";
+    "                    single-run order (byte-identical to unsharded)\n"
+    "  --list-algorithms print registry names with their canonical policy\n"
+    "                    specs (any spec in that grammar is a valid\n"
+    "                    algorithms= / algo= grid entry)\n";
 
 const std::set<std::string> kValueKeys = {"threads", "csv", "jsonl", "shards",
                                           "shard-index", "manifest"};
 const std::set<std::string> kKnownKeys = {
-    "threads", "csv",        "jsonl",    "shards", "shard-index", "manifest",
-    "resume",  "dry-run",    "print-grid", "quiet", "help"};
+    "threads", "csv",        "jsonl",      "shards", "shard-index",
+    "manifest", "resume",    "dry-run",    "print-grid", "quiet",
+    "help",    "list-algorithms"};
 
 int run_merge(const msol::util::Cli& cli) {
   using namespace msol;
@@ -113,6 +120,14 @@ int main(int argc, char** argv) {
     }
     if (!cli.positional().empty() && cli.positional()[0] == "merge") {
       return run_merge(cli);
+    }
+    if (cli.has("list-algorithms")) {
+      for (const std::string& name : algorithms::listed_algorithm_names()) {
+        std::cout << name << "  " << algorithms::canonical_spec(name) << "\n";
+      }
+      std::cout << "LS-K<k>  (any k >= 1; spec grammar: see README "
+                   "\"Composing policies\")\n";
+      return 0;
     }
     if (cli.positional().size() != 1) {
       std::cerr << kUsage;

@@ -107,7 +107,8 @@ CsvSink::CsvSink(std::ostream& out, bool header_written)
 std::string CsvSink::header() {
   std::string h =
       "cell_index,cell_id,cell_seed,platform_class,slaves,arrival,load,"
-      "jitter,port,sizes,avail,mtbf_tasks,outage_frac,algorithm,platforms";
+      "jitter,port,sizes,avail,mtbf_tasks,outage_frac,algorithm,spec,"
+      "platforms";
   for (const char* metric : kMetricNames) {
     for (const char* stat :
          {"mean", "stddev", "min", "max", "median", "ci95"}) {
@@ -136,6 +137,7 @@ std::string CsvSink::to_csv_row(const ResultRecord& record) {
   row += ',' + util::fmt_exact(record.mtbf_tasks);
   row += ',' + util::fmt_exact(record.outage_frac);
   row += ',' + csv_escape(record.result.name);
+  row += ',' + csv_escape(record.result.spec);
   row += ',' + std::to_string(record.result.makespan.count);
   const util::Summary* summaries[kMetricCount];
   metric_summaries(record.result, summaries);
@@ -194,6 +196,7 @@ std::string JsonLinesSink::to_json(const ResultRecord& record) {
   json += ",\"mtbf_tasks\":" + json_number(record.mtbf_tasks);
   json += ",\"outage_frac\":" + json_number(record.outage_frac);
   json += ",\"algorithm\":\"" + json_escape(record.result.name) + "\"";
+  json += ",\"spec\":\"" + json_escape(record.result.spec) + "\"";
   json += ",\"platforms\":" + std::to_string(record.result.makespan.count);
 
   const util::Summary* summaries[kMetricCount];

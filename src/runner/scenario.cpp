@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "algorithms/policy_spec.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -230,11 +231,12 @@ ScenarioGrid parse_grid(const std::string& text) {
     if (eq == std::string::npos) {
       throw std::invalid_argument("grid: expected key = value, got: " + raw);
     }
-    const std::string key = trim(line.substr(0, eq));
+    std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
     if (key.empty() || value.empty()) {
       throw std::invalid_argument("grid: expected key = value, got: " + raw);
     }
+    if (key == "algo") key = "algorithms";  // spec-axis alias
     if (!seen.insert(key).second) {
       throw std::invalid_argument("grid: duplicate key '" + key + "'");
     }
@@ -260,6 +262,19 @@ ScenarioGrid parse_grid(const std::string& text) {
       grid.lookahead = static_cast<int>(parse_int(value, raw));
     } else if (key == "algorithms") {
       grid.algorithms = split_csv(value);
+      if (grid.algorithms.empty()) {
+        throw std::invalid_argument("grid: empty value list in: " + raw);
+      }
+      // Fail at parse time, not mid-sweep: every entry must be a registry
+      // name or a parseable policy spec.
+      for (const std::string& spec : grid.algorithms) {
+        try {
+          algorithms::parse_policy_spec(spec);
+        } catch (const std::invalid_argument& error) {
+          throw std::invalid_argument(std::string("grid: ") + error.what() +
+                                      " in: " + raw);
+        }
+      }
     } else if (key == "class") {
       grid.classes = parse_list<platform::PlatformClass>(
           value, raw,

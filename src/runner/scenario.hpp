@@ -107,11 +107,13 @@ std::vector<ScenarioSpec> shard_cells(std::vector<ScenarioSpec> cells,
 ///   outage_frac = 0.1
 ///   ipp_amplitude = 0.9
 ///   ipp_period_tasks = 50
-///   algorithms = SRPT, LS, RR
+///   algorithms = SRPT, LS, RR+filter:throttle:2
 ///
-/// Unknown keys, unparsable values, and duplicate keys throw
-/// std::invalid_argument with the offending line. Omitted keys keep the
-/// ScenarioGrid defaults.
+/// `algorithms` (alias: `algo`) takes registry names and policy-spec
+/// strings in the mini-language of algorithms/policy_spec.hpp; every
+/// entry is validated at parse time. Unknown keys, unparsable values, and
+/// duplicate keys throw std::invalid_argument with the offending line.
+/// Omitted keys keep the ScenarioGrid defaults.
 ScenarioGrid parse_grid(const std::string& text);
 
 /// Reads and parses a grid file; throws std::runtime_error if unreadable.

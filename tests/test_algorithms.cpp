@@ -1,12 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "algorithms/list_scheduling.hpp"
-#include "algorithms/random_assign.hpp"
 #include "algorithms/registry.hpp"
 #include "algorithms/replay.hpp"
-#include "algorithms/round_robin.hpp"
-#include "algorithms/sljf.hpp"
-#include "algorithms/srpt.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
 #include "offline/bounds.hpp"
@@ -33,8 +28,8 @@ Platform het3() {
 // --------------------------------------------------------------- SRPT ------
 
 TEST(Srpt, SendsToFastestFreeSlave) {
-  Srpt srpt;
-  const Schedule s = simulate(het3(), Workload::all_at_zero(1), srpt);
+  const auto srpt = make_scheduler("SRPT");
+  const Schedule s = simulate(het3(), Workload::all_at_zero(1), *srpt);
   EXPECT_EQ(s.at(0).slave, 0);  // min p_j
 }
 
@@ -42,16 +37,16 @@ TEST(Srpt, WaitsWhenAllSlavesBusy) {
   // One slave: after sending task 0, slave is busy; SRPT must idle until it
   // finishes, then send task 1.
   const Platform plat({SlaveSpec{1.0, 4.0}});
-  Srpt srpt;
-  const Schedule s = simulate(plat, Workload::all_at_zero(2), srpt);
+  const auto srpt = make_scheduler("SRPT");
+  const Schedule s = simulate(plat, Workload::all_at_zero(2), *srpt);
   EXPECT_DOUBLE_EQ(s.at(0).comp_end, 5.0);
   EXPECT_DOUBLE_EQ(s.at(1).send_start, 5.0);  // waited for the free slave
   EXPECT_DOUBLE_EQ(s.at(1).comp_end, 10.0);
 }
 
 TEST(Srpt, NeverQueuesOnBusySlaves) {
-  Srpt srpt;
-  const Schedule s = simulate(het3(), Workload::all_at_zero(6), srpt);
+  const auto srpt = make_scheduler("SRPT");
+  const Schedule s = simulate(het3(), Workload::all_at_zero(6), *srpt);
   // A task's compute must start exactly at its arrival (no slave queueing).
   for (const core::TaskRecord& r : s.records()) {
     EXPECT_NEAR(r.comp_start, r.send_end, 1e-9);
@@ -60,16 +55,16 @@ TEST(Srpt, NeverQueuesOnBusySlaves) {
 
 TEST(Srpt, TieBreaksOnCommThenId) {
   const Platform plat({SlaveSpec{2.0, 3.0}, SlaveSpec{1.0, 3.0}});
-  Srpt srpt;
-  const Schedule s = simulate(plat, Workload::all_at_zero(1), srpt);
+  const auto srpt = make_scheduler("SRPT");
+  const Schedule s = simulate(plat, Workload::all_at_zero(1), *srpt);
   EXPECT_EQ(s.at(0).slave, 1);  // equal p, smaller c wins
 }
 
 // ----------------------------------------------------------------- LS ------
 
 TEST(ListScheduling, PicksEarliestEstimatedCompletion) {
-  ListScheduling ls;
-  const Schedule s = simulate(het3(), Workload::all_at_zero(1), ls);
+  const auto ls = make_scheduler("LS");
+  const Schedule s = simulate(het3(), Workload::all_at_zero(1), *ls);
   // Completions: P0: 2+1=3, P1: 0.5+4=4.5, P2: 1+2=3 -> tie, lower id.
   EXPECT_EQ(s.at(0).slave, 0);
 }
@@ -77,14 +72,14 @@ TEST(ListScheduling, PicksEarliestEstimatedCompletion) {
 TEST(ListScheduling, QueuesOnBusySlaveWhenWorthIt) {
   // One fast slave, one very slow: LS should keep feeding the fast one.
   const Platform plat({SlaveSpec{0.1, 1.0}, SlaveSpec{0.1, 50.0}});
-  ListScheduling ls;
-  const Schedule s = simulate(plat, Workload::all_at_zero(4), ls);
+  const auto ls = make_scheduler("LS");
+  const Schedule s = simulate(plat, Workload::all_at_zero(4), *ls);
   for (const core::TaskRecord& r : s.records()) EXPECT_EQ(r.slave, 0);
 }
 
 TEST(ListScheduling, NeverWaits) {
-  ListScheduling ls;
-  const Schedule s = simulate(het3(), Workload::all_at_zero(5), ls);
+  const auto ls = make_scheduler("LS");
+  const Schedule s = simulate(het3(), Workload::all_at_zero(5), *ls);
   // Sends are back-to-back from time 0 (master continuously busy).
   std::vector<core::TaskRecord> recs = s.records();
   std::sort(recs.begin(), recs.end(),
@@ -100,16 +95,16 @@ TEST(ListScheduling, NeverWaits) {
 // -------------------------------------------------------- round robins ------
 
 TEST(RoundRobin, NamesMatchVariants) {
-  EXPECT_EQ(RoundRobin(RoundRobinOrder::kCommPlusComp).name(), "RR");
-  EXPECT_EQ(RoundRobin(RoundRobinOrder::kComm).name(), "RRC");
-  EXPECT_EQ(RoundRobin(RoundRobinOrder::kComp).name(), "RRP");
+  EXPECT_EQ(make_scheduler("RR")->name(), "RR");
+  EXPECT_EQ(make_scheduler("RRC")->name(), "RRC");
+  EXPECT_EQ(make_scheduler("RRP")->name(), "RRP");
 }
 
 TEST(RoundRobin, CyclesInPrescribedOrder) {
   // het3 orderings: by c+p -> P0(3), P2(3), P1(4.5) => {0,2,1} (stable tie);
   // by c -> {1,2,0}; by p -> {0,2,1}.
-  RoundRobin rrc(RoundRobinOrder::kComm);
-  const Schedule s = simulate(het3(), Workload::all_at_zero(6), rrc);
+  const auto rrc = make_scheduler("RRC");
+  const Schedule s = simulate(het3(), Workload::all_at_zero(6), *rrc);
   EXPECT_EQ(s.at(0).slave, 1);
   EXPECT_EQ(s.at(1).slave, 2);
   EXPECT_EQ(s.at(2).slave, 0);
@@ -117,9 +112,9 @@ TEST(RoundRobin, CyclesInPrescribedOrder) {
 }
 
 TEST(RoundRobin, ResetRestartsTheCycle) {
-  RoundRobin rr(RoundRobinOrder::kComp);
-  const Schedule first = simulate(het3(), Workload::all_at_zero(3), rr);
-  const Schedule second = simulate(het3(), Workload::all_at_zero(3), rr);
+  const auto rr = make_scheduler("RRP");
+  const Schedule first = simulate(het3(), Workload::all_at_zero(3), *rr);
+  const Schedule second = simulate(het3(), Workload::all_at_zero(3), *rr);
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(first.at(i).slave, second.at(i).slave);
   }
@@ -132,9 +127,9 @@ TEST(Sljf, AchievesOptimalMakespanOnCommHomogeneousBatch) {
   // >= n must equal the exhaustive optimum (its defining property).
   const Platform plat({SlaveSpec{0.5, 2.0}, SlaveSpec{0.5, 3.0},
                        SlaveSpec{0.5, 5.0}});
-  Sljf sljf(8);
+  const auto sljf = make_scheduler("SLJF", 8);
   const Workload work = Workload::all_at_zero(8);
-  const Schedule s = simulate(plat, work, sljf);
+  const Schedule s = simulate(plat, work, *sljf);
   const double opt =
       offline::solve_optimal(plat, work, Objective::kMakespan).objective;
   EXPECT_NEAR(s.makespan(), opt, 1e-6);
@@ -143,9 +138,9 @@ TEST(Sljf, AchievesOptimalMakespanOnCommHomogeneousBatch) {
 TEST(Sljfwc, AchievesOptimalMakespanOnCompHomogeneousBatch) {
   const Platform plat({SlaveSpec{0.2, 2.0}, SlaveSpec{0.7, 2.0},
                        SlaveSpec{1.5, 2.0}});
-  Sljfwc sljfwc(8);
+  const auto sljfwc = make_scheduler("SLJFWC", 8);
   const Workload work = Workload::all_at_zero(8);
-  const Schedule s = simulate(plat, work, sljfwc);
+  const Schedule s = simulate(plat, work, *sljfwc);
   const double opt =
       offline::solve_optimal(plat, work, Objective::kMakespan).objective;
   EXPECT_LE(s.makespan(), opt + 1e-6);
@@ -154,31 +149,31 @@ TEST(Sljfwc, AchievesOptimalMakespanOnCompHomogeneousBatch) {
 TEST(Sljf, TailFallsBackToListScheduling) {
   // Lookahead 2 on 5 tasks: the last three go through the LS rule; the run
   // must still complete and be feasible.
-  Sljf sljf(2);
+  const auto sljf = make_scheduler("SLJF", 2);
   const Workload work = Workload::all_at_zero(5);
-  const Schedule s = simulate(het3(), work, sljf);
+  const Schedule s = simulate(het3(), work, *sljf);
   EXPECT_EQ(s.size(), 5);
   EXPECT_TRUE(core::validate(het3(), work, s).empty());
 }
 
 TEST(Sljf, LookaheadZeroIsPureListScheduling) {
-  Sljf sljf(0);
-  ListScheduling ls;
+  const auto sljf = make_scheduler("SLJF", 0);
+  const auto ls = make_scheduler("LS");
   const Workload work = Workload::all_at_zero(6);
-  const Schedule a = simulate(het3(), work, sljf);
-  const Schedule b = simulate(het3(), work, ls);
+  const Schedule a = simulate(het3(), work, *sljf);
+  const Schedule b = simulate(het3(), work, *ls);
   for (int i = 0; i < 6; ++i) EXPECT_EQ(a.at(i).slave, b.at(i).slave);
 }
 
 TEST(Sljf, ResetClearsThePlan) {
-  Sljf sljf(4);
-  const Schedule a = simulate(het3(), Workload::all_at_zero(4), sljf);
-  const Schedule b = simulate(het3(), Workload::all_at_zero(4), sljf);
+  const auto sljf = make_scheduler("SLJF", 4);
+  const Schedule a = simulate(het3(), Workload::all_at_zero(4), *sljf);
+  const Schedule b = simulate(het3(), Workload::all_at_zero(4), *sljf);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(a.at(i).slave, b.at(i).slave);
 }
 
 TEST(Sljf, RejectsNegativeLookahead) {
-  EXPECT_THROW(Sljf(-1), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("SLJF", -1), std::invalid_argument);
 }
 
 // -------------------------------------------------------------- replay ------
@@ -258,8 +253,8 @@ TEST(HomogeneousOptimality, ListSchedulingIsOptimalOnHomogeneousPlatforms) {
     const Platform plat =
         gen.generate(PlatformClass::kFullyHomogeneous, 3, rng);
     const Workload work = Workload::poisson(7, 1.0, rng);
-    ListScheduling ls;
-    const Schedule s = simulate(plat, work, ls);
+    const auto ls = make_scheduler("LS");
+    const Schedule s = simulate(plat, work, *ls);
     const offline::OptimalTriple opt = offline::solve_optimal_all(plat, work);
     for (Objective obj : core::all_objectives()) {
       EXPECT_NEAR(s.objective(obj), opt.get(obj), 1e-6)

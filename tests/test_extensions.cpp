@@ -4,10 +4,8 @@
 
 #include <gtest/gtest.h>
 
-#include "algorithms/min_ready.hpp"
-#include "algorithms/randomized_ls.hpp"
+#include "algorithms/policy.hpp"
 #include "algorithms/registry.hpp"
-#include "algorithms/weighted_round_robin.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
 #include "platform/generator.hpp"
@@ -28,8 +26,8 @@ using platform::SlaveSpec;
 TEST(MinReady, PicksTheLeastLoadedSlave) {
   // After one task each, the next task goes to whoever frees first.
   const Platform plat({SlaveSpec{0.1, 1.0}, SlaveSpec{0.1, 9.0}});
-  algorithms::MinReady policy;
-  const Schedule s = core::simulate(plat, Workload::all_at_zero(3), policy);
+  const auto policy = algorithms::make_scheduler("MINREADY");
+  const Schedule s = core::simulate(plat, Workload::all_at_zero(3), *policy);
   EXPECT_EQ(s.at(0).slave, 0);  // both idle, lower id
   EXPECT_EQ(s.at(1).slave, 1);  // slave 0 now busy until 1.1
   EXPECT_EQ(s.at(2).slave, 0);  // ready 1.1 vs slave 1's 9.2
@@ -40,9 +38,9 @@ TEST(MinReady, MatchesListSchedulingOnHomogeneousPlatforms) {
   const Platform plat = platform::PlatformGenerator().generate(
       platform::PlatformClass::kFullyHomogeneous, 3, rng);
   const Workload work = Workload::poisson(20, 2.0, rng);
-  algorithms::MinReady min_ready;
+  const auto min_ready = algorithms::make_scheduler("MINREADY");
   const auto ls = algorithms::make_scheduler("LS");
-  const Schedule a = core::simulate(plat, work, min_ready);
+  const Schedule a = core::simulate(plat, work, *min_ready);
   const Schedule b = core::simulate(plat, work, *ls);
   EXPECT_NEAR(a.makespan(), b.makespan(), 1e-9);
   EXPECT_NEAR(a.sum_flow(), b.sum_flow(), 1e-9);
@@ -54,7 +52,7 @@ TEST(Wrr, SharesSolveTheThroughputLp) {
   // P0: c=0.5, p=1 -> full rate 1 uses half the port; P1: c=1, p=2 -> rate
   // 0.5 uses the other half exactly.
   const Platform plat({SlaveSpec{0.5, 1.0}, SlaveSpec{1.0, 2.0}});
-  const std::vector<double> x = algorithms::WeightedRoundRobin::shares(plat);
+  const std::vector<double> x = algorithms::wrr_shares(plat);
   EXPECT_DOUBLE_EQ(x[0], 1.0);
   EXPECT_DOUBLE_EQ(x[1], 0.5);
 }
@@ -63,20 +61,20 @@ TEST(Wrr, SkipsSlavesOutsideTheLpSupport) {
   // The port saturates on the first (cheap, fast) slave; the expensive one
   // gets nothing.
   const Platform plat({SlaveSpec{1.0, 0.5}, SlaveSpec{10.0, 0.5}});
-  const std::vector<double> x = algorithms::WeightedRoundRobin::shares(plat);
+  const std::vector<double> x = algorithms::wrr_shares(plat);
   EXPECT_GT(x[0], 0.0);
   EXPECT_DOUBLE_EQ(x[1], 0.0);
 
-  algorithms::WeightedRoundRobin wrr;
-  const Schedule s = core::simulate(plat, Workload::all_at_zero(10), wrr);
+  const auto wrr = algorithms::make_scheduler("WRR");
+  const Schedule s = core::simulate(plat, Workload::all_at_zero(10), *wrr);
   for (const core::TaskRecord& r : s.records()) EXPECT_EQ(r.slave, 0);
 }
 
 TEST(Wrr, LongRunShareMatchesTheLp) {
   const Platform plat({SlaveSpec{0.1, 1.0}, SlaveSpec{0.1, 3.0}});
-  algorithms::WeightedRoundRobin wrr;
+  const auto wrr = algorithms::make_scheduler("WRR");
   const int n = 400;
-  const Schedule s = core::simulate(plat, Workload::all_at_zero(n), wrr);
+  const Schedule s = core::simulate(plat, Workload::all_at_zero(n), *wrr);
   int on_fast = 0;
   for (const core::TaskRecord& r : s.records()) on_fast += (r.slave == 0);
   // Shares 1 : 1/3 -> fast slave gets 3/4 of the stream.
@@ -86,9 +84,9 @@ TEST(Wrr, LongRunShareMatchesTheLp) {
 TEST(Wrr, BeatsPlainRoundRobinOnSkewedPlatforms) {
   const Platform plat({SlaveSpec{0.05, 0.5}, SlaveSpec{0.05, 8.0}});
   const Workload work = Workload::all_at_zero(100);
-  algorithms::WeightedRoundRobin wrr;
+  const auto wrr = algorithms::make_scheduler("WRR");
   const auto rr = algorithms::make_scheduler("RR");
-  EXPECT_LT(core::simulate(plat, work, wrr).makespan(),
+  EXPECT_LT(core::simulate(plat, work, *wrr).makespan(),
             0.5 * core::simulate(plat, work, *rr).makespan());
 }
 
@@ -117,9 +115,9 @@ TEST(RandomizedLs, ThetaZeroOnlyRandomizesExactTies) {
   // Distinct completion times at every decision -> identical to LS.
   const Platform plat({SlaveSpec{0.1, 1.0}, SlaveSpec{0.2, 7.0}});
   const Workload work = Workload::all_at_zero(6);
-  algorithms::RandomizedLs rls(0.0, 123);
+  const auto rls = algorithms::make_scheduler("RLS+eps:0", 1000, 123);
   const auto ls = algorithms::make_scheduler("LS");
-  const Schedule a = core::simulate(plat, work, rls);
+  const Schedule a = core::simulate(plat, work, *rls);
   const Schedule b = core::simulate(plat, work, *ls);
   for (int i = 0; i < work.size(); ++i) EXPECT_EQ(a.at(i).slave, b.at(i).slave);
 }
@@ -129,8 +127,8 @@ TEST(RandomizedLs, ActuallyRandomizesNearTies) {
   const Platform plat = Platform::homogeneous(2, 0.5, 2.0);
   bool saw0 = false, saw1 = false;
   for (std::uint64_t seed = 0; seed < 16; ++seed) {
-    algorithms::RandomizedLs rls(0.0, seed);
-    const Schedule s = core::simulate(plat, Workload::all_at_zero(1), rls);
+    const auto rls = algorithms::make_scheduler("RLS+eps:0", 1000, seed);
+    const Schedule s = core::simulate(plat, Workload::all_at_zero(1), *rls);
     (s.at(0).slave == 0 ? saw0 : saw1) = true;
   }
   EXPECT_TRUE(saw0);
@@ -138,7 +136,8 @@ TEST(RandomizedLs, ActuallyRandomizesNearTies) {
 }
 
 TEST(RandomizedLs, RejectsNegativeTheta) {
-  EXPECT_THROW(algorithms::RandomizedLs(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(algorithms::make_scheduler("RLS+eps:-0.1"),
+               std::invalid_argument);
 }
 
 TEST(RandomizedLs, SchedulesAreFeasible) {
@@ -146,8 +145,8 @@ TEST(RandomizedLs, SchedulesAreFeasible) {
   const Platform plat = platform::PlatformGenerator().generate(
       platform::PlatformClass::kFullyHeterogeneous, 4, rng);
   const Workload work = Workload::poisson(40, 2.0, rng);
-  algorithms::RandomizedLs rls(0.3, 77);
-  const Schedule s = core::simulate(plat, work, rls);
+  const auto rls = algorithms::make_scheduler("RLS+eps:0.3", 1000, 77);
+  const Schedule s = core::simulate(plat, work, *rls);
   EXPECT_TRUE(core::validate(plat, work, s).empty());
 }
 

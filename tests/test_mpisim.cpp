@@ -3,7 +3,7 @@
 #include <cmath>
 #include <thread>
 
-#include "algorithms/list_scheduling.hpp"
+#include "algorithms/registry.hpp"
 #include "core/validator.hpp"
 #include "mpisim/channel.hpp"
 #include "mpisim/matrix.hpp"
@@ -116,9 +116,9 @@ TEST(ThreadedRuntime, MeasuredTracksPredicted) {
   config.real_seconds_per_virtual = 0.02;
   ThreadedRuntime runtime(plat, config);
 
-  algorithms::ListScheduling ls;
+  const auto ls = algorithms::make_scheduler("LS");
   const core::Workload work = core::Workload::all_at_zero(8);
-  const RunResult result = runtime.run(work, ls);
+  const RunResult result = runtime.run(work, *ls);
 
   ASSERT_EQ(result.measured.size(), work.size());
   ASSERT_EQ(result.predicted.size(), work.size());
@@ -144,9 +144,9 @@ TEST(ThreadedRuntime, MeasuredScheduleRespectsOrderingInvariants) {
   config.matrix_size = 24;
   config.real_seconds_per_virtual = 0.02;
   ThreadedRuntime runtime(plat, config);
-  algorithms::ListScheduling ls;
+  const auto ls = algorithms::make_scheduler("LS");
   const core::Workload work = core::Workload::all_at_zero(6);
-  const RunResult result = runtime.run(work, ls);
+  const RunResult result = runtime.run(work, *ls);
 
   // Real sends are serialized by the master thread (one-port by
   // construction) and each compute follows its own arrival.
@@ -169,8 +169,8 @@ TEST(ThreadedRuntime, ReplicationCountsScaleWithPlatform) {
   config.matrix_size = 24;
   config.real_seconds_per_virtual = 0.02;
   ThreadedRuntime runtime(plat, config);
-  algorithms::ListScheduling ls;
-  const RunResult result = runtime.run(core::Workload::all_at_zero(2), ls);
+  const auto ls = algorithms::make_scheduler("LS");
+  const RunResult result = runtime.run(core::Workload::all_at_zero(2), *ls);
   // Slave 1 has 4x the comm cost and 4x the compute cost of slave 0.
   EXPECT_GT(result.send_reps[1], result.send_reps[0]);
   EXPECT_GT(result.compute_reps[1], result.compute_reps[0]);

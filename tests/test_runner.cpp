@@ -158,6 +158,21 @@ TEST(GridFormat, RejectsMalformedInput) {
   EXPECT_THROW(parse_grid("load =\n"), std::invalid_argument);
 }
 
+TEST(GridFormat, AlgoAliasAcceptsPolicySpecsAndValidatesThem) {
+  const ScenarioGrid grid =
+      parse_grid("algo = LS, SRPT+throttle:2, rank:completion+eps:0.1+tie:rng\n");
+  EXPECT_EQ(grid.algorithms,
+            (std::vector<std::string>{"LS", "SRPT+throttle:2",
+                                      "rank:completion+eps:0.1+tie:rng"}));
+  // `algo` and `algorithms` are one key: both present is a duplicate.
+  EXPECT_THROW(parse_grid("algo = LS\nalgorithms = SRPT\n"),
+               std::invalid_argument);
+  // Entries are validated at parse time, not mid-sweep.
+  EXPECT_THROW(parse_grid("algo = LS, HEFT\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("algorithms = LS-K2junk\n"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("algo = LS+gate:batch:0\n"), std::invalid_argument);
+}
+
 TEST(GridFormat, ParseExpandSerializeRoundTrip) {
   const ScenarioGrid original = small_grid();
   const std::string text = serialize_grid(original);

@@ -5,9 +5,7 @@
 
 #include <cmath>
 
-#include "algorithms/list_scheduling.hpp"
 #include "algorithms/registry.hpp"
-#include "algorithms/throttled_ls.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
 #include "core/workload_io.hpp"
@@ -26,8 +24,8 @@ using platform::SlaveSpec;
 
 TEST(TasksInSystem, TracksCommittedUncompletedWork) {
   const Platform plat({SlaveSpec{1.0, 4.0}});
-  algorithms::ListScheduling ls;
-  core::OnePortEngine engine(plat, ls);
+  const auto ls = algorithms::make_scheduler("LS");
+  core::OnePortEngine engine(plat, *ls);
   engine.load(Workload::all_at_zero(2));
   // t in [0,1): task 0 in flight; [1,2): task 1 in flight, task 0 computing.
   engine.run_until(1.5);
@@ -42,7 +40,9 @@ TEST(TasksInSystem, TracksCommittedUncompletedWork) {
 // ------------------------------------------------------------- LS(K) ------
 
 TEST(ThrottledLs, RejectsNonPositiveCap) {
-  EXPECT_THROW(algorithms::ThrottledLs(0), std::invalid_argument);
+  EXPECT_THROW(algorithms::make_scheduler("LS-K0"), std::invalid_argument);
+  EXPECT_THROW(algorithms::make_scheduler("filter:throttle:0"),
+               std::invalid_argument);
 }
 
 TEST(ThrottledLs, NeverExceedsTheQueueCap) {
@@ -51,8 +51,9 @@ TEST(ThrottledLs, NeverExceedsTheQueueCap) {
       platform::PlatformClass::kFullyHeterogeneous, 3, rng);
   const Workload work = Workload::all_at_zero(20);
   for (int cap : {1, 2, 3}) {
-    algorithms::ThrottledLs policy(cap);
-    const Schedule s = core::simulate(plat, work, policy);
+    const auto policy =
+        algorithms::make_scheduler("LS-K" + std::to_string(cap));
+    const Schedule s = core::simulate(plat, work, *policy);
     core::validate_or_throw(plat, work, s);
     // Invariant check: at every compute start, at most `cap` tasks of that
     // slave can be in the system; equivalently, the task that arrives as
@@ -75,10 +76,10 @@ TEST(ThrottledLs, LargeCapMatchesPlainLs) {
   const Platform plat = platform::PlatformGenerator().generate(
       platform::PlatformClass::kFullyHeterogeneous, 3, rng);
   const Workload work = Workload::poisson(25, 2.0, rng);
-  algorithms::ThrottledLs throttled(1000);
-  algorithms::ListScheduling ls;
-  const Schedule a = core::simulate(plat, work, throttled);
-  const Schedule b = core::simulate(plat, work, ls);
+  const auto throttled = algorithms::make_scheduler("LS-K1000");
+  const auto ls = algorithms::make_scheduler("LS");
+  const Schedule a = core::simulate(plat, work, *throttled);
+  const Schedule b = core::simulate(plat, work, *ls);
   for (int i = 0; i < work.size(); ++i) {
     EXPECT_EQ(a.at(i).slave, b.at(i).slave);
     EXPECT_NEAR(a.at(i).comp_end, b.at(i).comp_end, 1e-9);
@@ -87,9 +88,9 @@ TEST(ThrottledLs, LargeCapMatchesPlainLs) {
 
 TEST(ThrottledLs, CapOneNeverQueues) {
   const Platform plat({SlaveSpec{0.2, 2.0}, SlaveSpec{0.3, 3.0}});
-  algorithms::ThrottledLs policy(1);
+  const auto policy = algorithms::make_scheduler("LS-K1");
   const Workload work = Workload::all_at_zero(6);
-  const Schedule s = core::simulate(plat, work, policy);
+  const Schedule s = core::simulate(plat, work, *policy);
   for (const core::TaskRecord& r : s.records()) {
     EXPECT_NEAR(r.comp_start, r.send_end, 1e-9);  // compute on arrival
   }
@@ -99,8 +100,8 @@ TEST(ThrottledLs, WakesOnIntermediateCompletions) {
   // One slave, cap 2, three tasks at 0: task 2 must be sent as soon as
   // task 0 *completes* (t=5), not when the whole queue drains (t=9).
   const Platform plat({SlaveSpec{1.0, 4.0}});
-  algorithms::ThrottledLs policy(2);
-  const Schedule s = core::simulate(plat, Workload::all_at_zero(3), policy);
+  const auto policy = algorithms::make_scheduler("LS-K2");
+  const Schedule s = core::simulate(plat, Workload::all_at_zero(3), *policy);
   EXPECT_DOUBLE_EQ(s.find(2)->send_start, 5.0);
 }
 
@@ -108,6 +109,11 @@ TEST(ThrottledLs, RegistryBuildsNamedVariants) {
   EXPECT_EQ(algorithms::make_scheduler("LS-K3")->name(), "LS-K3");
   EXPECT_THROW(algorithms::make_scheduler("LS-Kx"), std::invalid_argument);
   EXPECT_THROW(algorithms::make_scheduler("LS-K0"), std::invalid_argument);
+  // Regression: stoi's silent trailing-junk acceptance used to build
+  // ThrottledLs(2) out of this.
+  EXPECT_THROW(algorithms::make_scheduler("LS-K2junk"), std::invalid_argument);
+  EXPECT_THROW(algorithms::make_scheduler("LS-K-1"), std::invalid_argument);
+  EXPECT_THROW(algorithms::make_scheduler("LS-K"), std::invalid_argument);
 }
 
 // ---------------------------------------------------- lognormal noise ------

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "algorithms/registry.hpp"
 #include "algorithms/replay.hpp"
-#include "algorithms/srpt.hpp"
 #include "core/engine.hpp"
 #include "core/trace.hpp"
 #include "platform/platform.hpp"
@@ -44,8 +44,8 @@ TEST(Trace, RecordsLifecycleOfEveryTask) {
 
 TEST(Trace, RecordsDefersFromWaitingPolicies) {
   // SRPT defers while both slaves are busy.
-  algorithms::Srpt srpt;
-  OnePortEngine engine(two_slaves(), srpt, traced());
+  const auto srpt = algorithms::make_scheduler("SRPT");
+  OnePortEngine engine(two_slaves(), *srpt, traced());
   engine.load(Workload::all_at_zero(4));
   engine.run_to_completion();
   EXPECT_GT(engine.trace().count(TraceEvent::Kind::kDefer), 0);
