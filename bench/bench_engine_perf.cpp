@@ -1,8 +1,17 @@
 // Substrate micro-benchmarks (google-benchmark): throughput of the one-port
 // engine, the heuristics' decision rules, the exhaustive solver and the
 // SLJF planner. These are the knobs that bound campaign turnaround.
+//
+// --json[=FILE] bypasses google-benchmark and runs a reduced self-timed
+// pass (engine events/sec per policy, including a meta spec), writing
+// machine-readable BENCH_engine.json for CI artifact upload.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
@@ -162,6 +171,76 @@ void BM_ExhaustiveSolver(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveSolver)->Arg(6)->Arg(9)->Arg(12);
 
+// --- reduced self-timed --json mode ----------------------------------------
+
+/// Best-of-`reps` wall-clock throughput of one simulate() configuration, in
+/// scheduled tasks ("events") per second.
+double events_per_sec(const char* policy, int m, int n, int reps) {
+  const platform::Platform plat = bench_platform(m);
+  const core::Workload work = bench_workload(plat, n);
+  const auto scheduler = algorithms::make_scheduler(policy);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(core::simulate(plat, work, *scheduler).makespan());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > 0.0) best = std::max(best, n / elapsed.count());
+  }
+  return best;
+}
+
+int run_json(const std::string& path) {
+  struct Case {
+    const char* policy;
+    int slaves, tasks, reps;
+  };
+  // RR isolates the event loop, LS adds the placement probe, SRPT is
+  // defer/wake-bound, the hedge exercises the meta layer's dispatch.
+  const Case cases[] = {
+      {"RR", 8, 1000, 5},
+      {"RR", 64, 10000, 3},
+      {"LS", 8, 1000, 5},
+      {"LS", 64, 10000, 3},
+      {"SRPT", 8, 1000, 5},
+      {"hedge:LS;rank:queue+window:12+hyst:2", 8, 1000, 3},
+  };
+  std::string json = "{\"bench\":\"engine_perf\",\"unit\":\"tasks/sec\","
+                     "\"cases\":[";
+  bool first = true;
+  for (const Case& c : cases) {
+    const double rate = events_per_sec(c.policy, c.slaves, c.tasks, c.reps);
+    if (!first) json += ',';
+    first = false;
+    json += "{\"policy\":\"" + std::string(c.policy) + "\"";
+    json += ",\"slaves\":" + std::to_string(c.slaves);
+    json += ",\"tasks\":" + std::to_string(c.tasks);
+    json += ",\"events_per_sec\":" + std::to_string(rate) + "}";
+    std::cout << c.policy << " m=" << c.slaves << " n=" << c.tasks << ": "
+              << rate << " tasks/sec\n";
+  }
+  json += "]}";
+  std::ofstream out(path);
+  out << json << "\n";
+  if (!out) {
+    std::cerr << "bench_engine_perf: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return run_json("BENCH_engine.json");
+    if (arg.rfind("--json=", 0) == 0) return run_json(arg.substr(7));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,12 +7,26 @@
 // platform under bursty arrivals (where gates and throttles matter), and
 // a churning platform with outages and re-dispatch (where filters must
 // react to availability). Metrics are normalized to SRPT per platform.
+//
+// --json[=FILE] additionally writes BENCH_policy.json (default name) with
+// the per-regime per-spec makespans plus a meta-policy section: on the
+// bursty and churn regimes the five single-feature member specs are
+// evaluated, rank:linear weights are fitted from their results (the
+// `msol_run fit` pipeline in miniature), and the fitted blend and a
+// LS/queue hedge are scored against the best single member
+// (`beats_best_member`).
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "experiments/spec_fit.hpp"
+#include "util/table.hpp"
 
 namespace {
+
+using namespace msol;
 
 const std::vector<std::string>& policy_zoo() {
   static const std::vector<std::string> zoo = {
@@ -29,31 +43,118 @@ const std::vector<std::string>& policy_zoo() {
       "rank:queue+tie:fastlink", "rank:comm+filter:free",
       // Quota-fair admission and gated commitment.
       "filter:quota+rank:completion", "LS+gate:batch:5", "LS+gate:pace:0.4",
+      // The meta layer (see algorithms/meta/): per-decision forward
+      // simulation over a member portfolio, and regime-hedged switching.
+      "portfolio:LS;rank:queue+horizon:6",
+      "hedge:LS;rank:queue+window:12+hyst:2",
   };
   return zoo;
 }
 
-struct Regime {
-  const char* label;
-  void (*apply)(msol::experiments::CampaignConfig&);
-};
-
-void regime_static(msol::experiments::CampaignConfig&) {}
-
-void regime_bursty(msol::experiments::CampaignConfig& config) {
-  config.arrival = msol::experiments::ArrivalProcess::kBursty;
+/// The static member pool the meta section fits over and compares against:
+/// the five rank:linear simplex vertices plus the hedge's stressed-regime
+/// blend, so `beats_best_member` is judged against every member the meta
+/// specs are built from.
+const std::vector<std::string>& member_specs() {
+  static const std::vector<std::string> members = {
+      "rank:completion", "rank:comm",  "rank:comp",
+      "rank:queue",      "rank:ready", "rank:linear:0:0.2:0:0.1:0.7"};
+  return members;
 }
 
-void regime_churn(msol::experiments::CampaignConfig& config) {
-  config.avail = msol::platform::AvailabilityModel::kChurn;
+/// Calm regime rides the strongest single feature (slave ready-time);
+/// bursts and churn switch to a comm/queue-aware blend of it.
+constexpr const char* kHedgeSpec =
+    "hedge:rank:ready;rank:linear:0:0.2:0:0.1:0.7+window:12+hyst:2";
+
+struct Regime {
+  const char* label;
+  void (*apply)(experiments::CampaignConfig&);
+};
+
+void regime_static(experiments::CampaignConfig&) {}
+
+void regime_bursty(experiments::CampaignConfig& config) {
+  config.arrival = experiments::ArrivalProcess::kBursty;
+}
+
+void regime_churn(experiments::CampaignConfig& config) {
+  config.avail = platform::AvailabilityModel::kChurn;
   config.mtbf_tasks = 40.0;
   config.outage_frac = 0.15;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Meta section for one stressed regime: members -> fit -> fitted blend and
+/// hedge versus the best member, all on the same deterministic platforms
+/// (run_campaign draws them from config.seed independent of the algorithm
+/// list, so makespans are comparable across the two campaigns).
+std::string meta_section(const experiments::CampaignConfig& base,
+                         const Regime& regime) {
+  experiments::CampaignConfig config = base;
+  regime.apply(config);
+
+  config.algorithms = member_specs();
+  const experiments::CampaignResult members = experiments::run_campaign(config);
+
+  std::vector<experiments::FitSample> samples;
+  for (const experiments::AlgorithmResult& alg : members.algorithms) {
+    experiments::FitSample sample;
+    sample.regime = regime.label;
+    sample.weights = experiments::feature_weights_for(alg.spec);
+    sample.norm_makespan = alg.makespan.mean;  // scale-invariant fit input
+    if (!sample.weights.empty()) samples.push_back(std::move(sample));
+  }
+  const std::vector<experiments::FitResult> fits =
+      experiments::fit_linear_weights(samples);
+  const std::string fitted_spec =
+      fits.empty() ? member_specs().front() : fits.front().spec;
+
+  config.algorithms = {fitted_spec, kHedgeSpec};
+  const experiments::CampaignResult metas = experiments::run_campaign(config);
+  const double fitted = metas.algorithms[0].makespan.mean;
+  const double hedge = metas.algorithms[1].makespan.mean;
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < members.algorithms.size(); ++i) {
+    if (members.algorithms[i].makespan.mean <
+        members.algorithms[best].makespan.mean) {
+      best = i;
+    }
+  }
+  const double best_mean = members.algorithms[best].makespan.mean;
+
+  std::string json = "{";
+  json += "\"members\":{";
+  for (std::size_t i = 0; i < members.algorithms.size(); ++i) {
+    if (i > 0) json += ',';
+    json += json_str(members.algorithms[i].name) + ":" +
+            util::fmt_exact(members.algorithms[i].makespan.mean);
+  }
+  json += "},\"best_member\":" + json_str(members.algorithms[best].name);
+  json += ",\"best_member_makespan\":" + util::fmt_exact(best_mean);
+  json += ",\"fitted_spec\":" + json_str(fitted_spec);
+  json += ",\"fitted_makespan\":" + util::fmt_exact(fitted);
+  json += ",\"hedge_spec\":" + json_str(kHedgeSpec);
+  json += ",\"hedge_makespan\":" + util::fmt_exact(hedge);
+  const bool beats = std::min(fitted, hedge) < best_mean;
+  json += std::string(",\"beats_best_member\":") + (beats ? "true" : "false");
+  json += "}";
+  return json;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace msol;
   const util::Cli cli(argc, argv);
 
   std::cout << "=== Composed-policy zoo: " << policy_zoo().size()
@@ -66,9 +167,19 @@ int main(int argc, char** argv) {
   base.num_tasks = static_cast<int>(cli.get_int("tasks", 400));
   base.algorithms = policy_zoo();
 
-  const Regime regimes[] = {{"static poisson", regime_static},
-                            {"bursty arrivals", regime_bursty},
-                            {"churning platform", regime_churn}};
+  const Regime regimes[] = {{"static", regime_static},
+                            {"bursty", regime_bursty},
+                            {"churn", regime_churn}};
+
+  std::string json = "{\"bench\":\"policy_compare\",\"config\":{";
+  json += "\"platforms\":" + std::to_string(base.num_platforms);
+  json += ",\"tasks\":" + std::to_string(base.num_tasks);
+  json += ",\"slaves\":" + std::to_string(base.num_slaves);
+  json += ",\"seed\":" + std::to_string(base.seed);
+  json += ",\"load\":" + util::fmt_exact(base.load);
+  json += "},\"regimes\":{";
+
+  bool first_regime = true;
   for (const Regime& regime : regimes) {
     experiments::CampaignConfig config = base;
     regime.apply(config);
@@ -77,15 +188,55 @@ int main(int argc, char** argv) {
 
     std::cout << "\n--- " << regime.label << " ---\n";
     util::Table table({"policy", "norm-makespan", "norm-sum-flow",
-                       "norm-max-flow", "redispatches"});
+                       "norm-max-flow", "redispatches", "switches"});
     for (const experiments::AlgorithmResult& alg : result.algorithms) {
       table.add_row({alg.name, util::fmt(alg.norm_makespan.mean),
                      util::fmt(alg.norm_sum_flow.mean),
                      util::fmt(alg.norm_max_flow.mean),
-                     util::fmt(alg.redispatches.mean)});
+                     util::fmt(alg.redispatches.mean),
+                     util::fmt(alg.switches.mean)});
     }
     std::cout << (cli.has("csv") ? table.to_csv() : table.to_string());
+
+    if (!first_regime) json += ',';
+    first_regime = false;
+    json += json_str(regime.label) + ":{";
+    for (std::size_t i = 0; i < result.algorithms.size(); ++i) {
+      const experiments::AlgorithmResult& alg = result.algorithms[i];
+      if (i > 0) json += ',';
+      json += json_str(alg.name) + ":{\"makespan_mean\":" +
+              util::fmt_exact(alg.makespan.mean) + ",\"norm_makespan_mean\":" +
+              util::fmt_exact(alg.norm_makespan.mean) + ",\"switches_mean\":" +
+              util::fmt_exact(alg.switches.mean) + "}";
+    }
+    json += "}";
   }
+  json += "}";
+
+  if (cli.has("json")) {
+    json += ",\"meta\":{";
+    bool first = true;
+    for (const Regime& regime : regimes) {
+      if (std::string(regime.label) == "static") continue;  // stressed only
+      if (!first) json += ',';
+      first = false;
+      std::cout << "\n--- meta fit: " << regime.label << " ---\n";
+      json += json_str(regime.label) + ":" + meta_section(base, regime);
+    }
+    json += "}}";
+    // A bare `--json` flag stores "true" (util::Cli); only --json=FILE
+    // overrides the default artifact name.
+    std::string path = cli.get("json", "");
+    if (path.empty() || path == "true") path = "BENCH_policy.json";
+    std::ofstream out(path);
+    out << json << "\n";
+    if (!out) {
+      std::cerr << "bench_policy_compare: cannot write " << path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << path << "\n";
+  }
+
   std::cout << "\n(legacy names are canonical compositions — see "
                "`msol_run --list-algorithms`; any spec in the grammar can "
                "join the zoo via --algo-style grid entries)\n";

@@ -1,0 +1,110 @@
+#include "algorithms/meta/meta_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <variant>
+
+#include "algorithms/meta/projection.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace msol::algorithms::meta {
+
+// ---------------------------------------------------------------------------
+// PortfolioPolicy
+// ---------------------------------------------------------------------------
+
+PortfolioPolicy::PortfolioPolicy(MetaSpec spec) : MetaPolicy(std::move(spec)) {
+  if (spec_.kind != MetaKind::kPortfolio) {
+    throw std::invalid_argument("PortfolioPolicy: spec is not portfolio:");
+  }
+}
+
+core::Decision PortfolioPolicy::decide(const core::EngineView& engine) {
+  // Each member is rebuilt per decision and simulated on its own projection
+  // of the live view, so evaluations are pure functions of the snapshot. A
+  // tie:rng member's stream is derived counter-style from (member index,
+  // decision ordinal) — independent of thread count and of how often other
+  // members drew.
+  const int horizon = std::min(spec_.horizon, engine.pending_count());
+  int best = 0;
+  ProjectionOutcome best_out;
+  for (int i = 0; i < static_cast<int>(spec_.members.size()); ++i) {
+    PolicySpec member = spec_.members[static_cast<std::size_t>(i)];
+    member.seed = util::Rng(util::Rng(member.seed).child_seed(i))
+                      .child_seed(decisions_);
+    ComposedPolicy policy(member);
+    EngineProjection projection(engine);
+    const ProjectionOutcome out = projection.run(policy, horizon);
+    if (i == 0 || out.commits > best_out.commits ||
+        (out.commits == best_out.commits &&
+         out.makespan < best_out.makespan - core::kTimeEps)) {
+      best = i;
+      best_out = out;
+    }
+  }
+  if (last_choice_ >= 0 && best != last_choice_) ++switches_;
+  last_choice_ = best;
+  ++decisions_;
+  return best_out.first;
+}
+
+void PortfolioPolicy::reset() {
+  decisions_ = 0;
+  last_choice_ = -1;
+  switches_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// HedgePolicy
+// ---------------------------------------------------------------------------
+
+HedgePolicy::HedgePolicy(MetaSpec spec)
+    : MetaPolicy(std::move(spec)),
+      // spec_ lives in the base subobject, so it is initialized by the time
+      // the detector member is constructed.
+      detector_(RegimeConfig{spec_.window, spec_.hysteresis}) {
+  if (spec_.kind != MetaKind::kHedge) {
+    throw std::invalid_argument("HedgePolicy: spec is not hedge:");
+  }
+  for (const PolicySpec& member : spec_.members) {
+    members_.push_back(std::make_unique<ComposedPolicy>(member));
+  }
+}
+
+core::Decision HedgePolicy::decide(const core::EngineView& engine) {
+  detector_.observe(engine);
+  const int want = detector_.stressed() ? 1 : 0;
+  if (want != active_) {
+    ++switches_;
+    active_ = want;
+  }
+  return members_[static_cast<std::size_t>(active_)]->decide(engine);
+}
+
+void HedgePolicy::on_task_released(const core::EngineView& engine,
+                                   core::TaskId task) {
+  detector_.observe_release(engine.task_spec(task).release);
+  for (auto& member : members_) member->on_task_released(engine, task);
+}
+
+void HedgePolicy::reset() {
+  detector_.reset();
+  for (auto& member : members_) member->reset();
+  active_ = 0;
+  switches_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<core::OnlineScheduler> make_meta_policy(const MetaSpec& spec) {
+  switch (spec.kind) {
+    case MetaKind::kPortfolio:
+      return std::make_unique<PortfolioPolicy>(spec);
+    case MetaKind::kHedge:
+      return std::make_unique<HedgePolicy>(spec);
+  }
+  throw std::invalid_argument("make_meta_policy: unknown meta kind");
+}
+
+}  // namespace msol::algorithms::meta

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/meta/meta_spec.hpp"
+#include "algorithms/meta/regime.hpp"
+#include "algorithms/policy.hpp"
+#include "core/scheduler.hpp"
+
+namespace msol::algorithms::meta {
+
+/// Base of the meta layer: a scheduler assembled from a MetaSpec that may
+/// switch between member compositions mid-run. Campaigns dynamic_cast to
+/// this to collect the `switches` summary the result sinks report.
+class MetaPolicy : public core::OnlineScheduler {
+ public:
+  explicit MetaPolicy(MetaSpec spec)
+      : spec_(std::move(spec)), name_(meta::to_string(spec_)) {}
+
+  std::string name() const override { return name_; }
+  const MetaSpec& spec() const { return spec_; }
+  /// Canonical serialized form (what result sinks echo).
+  std::string spec_string() const { return name_; }
+
+  /// How many times the active member changed between consecutive
+  /// decisions this run; reset() zeroes it.
+  long long switches() const { return switches_; }
+
+ protected:
+  MetaSpec spec_;
+  std::string name_;
+  long long switches_ = 0;
+};
+
+/// portfolio:<spec>;...+horizon:<h> — at every decision point each member
+/// spec is forward-simulated on an EngineProjection of the live view for up
+/// to `horizon` commits, and the member with the best projection (most
+/// commits, then lowest projected makespan, ties to the lowest index)
+/// supplies the committed decision.
+///
+/// Members are rebuilt fresh for every evaluation, so each projection is a
+/// pure function of the snapshot; a tie:rng member's stream is derived
+/// counter-style — fork(member index) off its spec seed, then the decision
+/// ordinal — so runs are deterministic and thread-count independent.
+class PortfolioPolicy final : public MetaPolicy {
+ public:
+  explicit PortfolioPolicy(MetaSpec spec);
+
+  core::Decision decide(const core::EngineView& engine) override;
+  void reset() override;
+
+  /// Member chosen at the last decision (-1 before the first).
+  int last_choice() const { return last_choice_; }
+
+ private:
+  long long decisions_ = 0;
+  int last_choice_ = -1;
+};
+
+/// hedge:<specA>;<specB>+window:<n>+hyst:<k> — member A (calm) runs until
+/// the regime detector reports stress (bursty arrivals or availability
+/// churn, debounced by the hysteresis), then member B takes over; the hedge
+/// falls back to A once the window decays to calm. Switches happen at
+/// decision (= commit) boundaries only. The inactive member's internal
+/// state is frozen while benched — cyclic cursors and stride credits resume
+/// where they left off.
+class HedgePolicy final : public MetaPolicy {
+ public:
+  explicit HedgePolicy(MetaSpec spec);
+
+  core::Decision decide(const core::EngineView& engine) override;
+  void on_task_released(const core::EngineView& engine,
+                        core::TaskId task) override;
+  void reset() override;
+
+  int active_member() const { return active_; }
+  Regime regime() const { return detector_.regime(); }
+
+ private:
+  std::vector<std::unique_ptr<ComposedPolicy>> members_;
+  RegimeDetector detector_;
+  int active_ = 0;
+};
+
+/// Builds the meta policy a MetaSpec describes (registry hook).
+std::unique_ptr<core::OnlineScheduler> make_meta_policy(const MetaSpec& spec);
+
+}  // namespace msol::algorithms::meta

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/policy_spec.hpp"
+
+namespace msol::algorithms::meta {
+
+/// The meta layer above the filter x rank x tie x gate composition space:
+/// policies whose members are themselves PolicySpecs.
+///
+///   portfolio:<spec>;<spec>;...[+horizon:<h>]
+///     At each decision point every member is forward-simulated from the
+///     live engine state over a bounded horizon and the best member's
+///     decision is committed (see meta_policy.hpp).
+///
+///   hedge:<specA>;<specB>[+window:<n>][+hyst:<k>]
+///     An online regime detector (regime.hpp) watches arrival burstiness
+///     and availability churn over a sliding window of EngineView
+///     observations and switches the active member at commit boundaries:
+///     member A while calm, member B while stressed.
+///
+/// Meta clauses bind rightmost: the grammar strips `horizon:` / `window:` /
+/// `hyst:` clauses off the tail (they are not valid base-grammar keys, so
+/// the split is unambiguous), then `;`-splits the remainder into member
+/// specs parsed with the base parser. Meta specs cannot nest.
+enum class MetaKind {
+  kPortfolio,  ///< simulate every member, commit the best one's decision
+  kHedge,      ///< regime-switch between a calm and a stressed member
+};
+
+struct MetaSpec {
+  MetaKind kind = MetaKind::kPortfolio;
+  std::vector<PolicySpec> members;
+  int horizon = 8;     ///< portfolio look-forward commits (>= 1)
+  int window = 16;     ///< hedge detector sliding window (>= 2)
+  int hysteresis = 3;  ///< hedge consecutive-verdict debounce (>= 1)
+
+  friend bool operator==(const MetaSpec& a, const MetaSpec& b);
+  friend bool operator!=(const MetaSpec& a, const MetaSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// True when `text` is in the meta grammar (portfolio:/hedge: prefix) and
+/// should route through parse_meta_spec instead of parse_policy_spec.
+bool is_meta_spec(const std::string& text);
+
+/// Parses the meta grammar; `lookahead`/`seed` are the member-spec defaults
+/// (the make_scheduler() arguments, forwarded to the base parser). Throws
+/// std::invalid_argument naming the offending clause or member on errors:
+/// unknown/duplicate meta clauses, too few members, or nested meta specs.
+MetaSpec parse_meta_spec(const std::string& text, int lookahead = 1000,
+                         std::uint64_t seed = 42);
+
+/// Canonical serialization: canonical member specs `;`-joined behind the
+/// kind prefix, then the kind's meta clauses with explicit values
+/// (`+horizon:<h>` / `+window:<n>+hyst:<k>`). Canonical strings are fixed
+/// points of parse_meta_spec, like the base grammar's.
+std::string to_string(const MetaSpec& spec);
+
+}  // namespace msol::algorithms::meta

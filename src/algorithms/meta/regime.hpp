@@ -1,0 +1,80 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/engine_view.hpp"
+#include "core/types.hpp"
+
+namespace msol::algorithms::meta {
+
+/// What the detector currently believes about the workload regime.
+enum class Regime {
+  kCalm,    ///< near-Poisson arrivals, stable availability
+  kBursty,  ///< clumped arrivals (high inter-release dispersion)
+  kChurn,   ///< slaves flipping on/offline inside the window
+};
+
+std::string to_string(Regime regime);
+
+struct RegimeConfig {
+  /// Sliding-window length, in observations (for availability sampling)
+  /// and in releases (for the burstiness estimate). >= 2.
+  int window = 16;
+  /// Consecutive identical raw verdicts required before the reported
+  /// regime changes — the hysteresis that keeps detection noise from
+  /// thrashing a hedge between members. >= 1.
+  int hysteresis = 3;
+  /// Squared coefficient of variation of inter-release gaps above which
+  /// arrivals count as bursty. A Poisson stream sits near 1; the campaign
+  /// generator's 25-task bursts push it far above this default.
+  double burst_cv2 = 3.0;
+};
+
+/// Online regime detector over the EngineView observables a scheduler may
+/// legally see. Two estimators feed a debounced verdict:
+///
+///   burstiness — the squared coefficient of variation (variance / mean^2)
+///   of the inter-release gaps across the last `window` releases, fed by
+///   observe_release(); clumped arrivals (bursts) disperse the gaps far
+///   beyond the Poisson baseline of ~1.
+///
+///   churn — per-slave availability sampled at each observe(); any flip
+///   (online <-> offline) seen within the last `window` observations marks
+///   the platform as churning. As flips age out of the window the verdict
+///   decays back toward calm, so a hedge returns to its calm member
+///   between outage clusters.
+///
+/// Churn outranks bursty when both fire. The reported regime() changes
+/// only after `hysteresis` consecutive identical raw verdicts.
+/// Deterministic: state depends only on the observation sequence.
+class RegimeDetector {
+ public:
+  explicit RegimeDetector(RegimeConfig config);
+
+  void reset();
+
+  /// Feed a task-release instant (from OnlineScheduler::on_task_released).
+  void observe_release(core::Time time);
+
+  /// Sample the platform at a decision point; updates the verdict.
+  void observe(const core::EngineView& view);
+
+  Regime regime() const { return current_; }
+  bool stressed() const { return current_ != Regime::kCalm; }
+
+ private:
+  Regime raw_verdict() const;
+
+  RegimeConfig config_;
+  std::deque<core::Time> releases_;
+  std::vector<bool> last_online_;
+  std::deque<int> flip_history_;  ///< flips per observation, windowed
+  int flips_in_window_ = 0;
+  Regime current_ = Regime::kCalm;
+  Regime candidate_ = Regime::kCalm;
+  int streak_ = 0;
+};
+
+}  // namespace msol::algorithms::meta

@@ -197,6 +197,38 @@ class QueueRanker : public Ranker {
   }
 };
 
+/// Learned linear blend of the per-candidate features the other rankers use
+/// individually: score = w0 * completion_if_assigned + w1 * c_j + w2 * p_j
+/// + w3 * tasks_in_system + w4 * slave_ready_at, weights from
+/// rank:linear:<w0>:...:<w4> (experiments/spec_fit.hpp regresses them from
+/// sweep CSVs). With w = (1,0,0,0,0) the scan reproduces list scheduling.
+class LinearRanker : public Ranker {
+ public:
+  explicit LinearRanker(std::vector<double> w) : w_(std::move(w)) {
+    if (static_cast<int>(w_.size()) != kLinearFeatureCount) {
+      throw std::invalid_argument(
+          "linear ranker: expected " + std::to_string(kLinearFeatureCount) +
+          " weights");
+    }
+  }
+  double eps() const override { return core::kTimeEps; }
+  void score(const core::EngineView& engine, core::TaskId task,
+             const std::vector<core::SlaveId>& candidates,
+             std::vector<double>& scores) override {
+    const platform::Platform& plat = engine.platform();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const core::SlaveId j = candidates[i];
+      scores[i] = w_[0] * engine.completion_if_assigned(task, j) +
+                  w_[1] * plat.comm(j) + w_[2] * plat.comp(j) +
+                  w_[3] * static_cast<double>(engine.tasks_in_system(j)) +
+                  w_[4] * engine.slave_ready_at(j);
+    }
+  }
+
+ private:
+  std::vector<double> w_;
+};
+
 /// All-equal scores: selection is pure tie-break (RANDOM = const + rng).
 class ConstRanker : public Ranker {
  public:
@@ -443,6 +475,8 @@ std::unique_ptr<Ranker> make_ranker(const PolicySpec& spec) {
       return std::make_unique<PlanRanker>(false, spec.lookahead);
     case RankerKind::kPlanSljfwc:
       return std::make_unique<PlanRanker>(true, spec.lookahead);
+    case RankerKind::kLinear:
+      return std::make_unique<LinearRanker>(spec.linear_w);
   }
   throw std::logic_error("make_ranker: unknown ranker kind");
 }

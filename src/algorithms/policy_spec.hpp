@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace msol::algorithms {
 
@@ -40,7 +41,14 @@ enum class RankerKind {
   kCyclicComp,    ///< RRP's cyclic cursor over ascending p_j
   kPlanSljf,      ///< SLJF plan for the first `lookahead` sends, then LS
   kPlanSljfwc,    ///< comm-aware SLJFWC plan, then LS
+  kLinear,        ///< learned linear blend of the per-candidate features
+                  ///< (completion, comm, comp, queue, ready), weights from
+                  ///< rank:linear:<w0>:...:<w4> (see experiments/spec_fit)
 };
+
+/// Number of per-candidate features the linear ranker blends, in weight
+/// order: completion_if_assigned, c_j, p_j, tasks_in_system, slave_ready_at.
+inline constexpr int kLinearFeatureCount = 5;
 
 enum class TieKind {
   kIndex,     ///< lowest slave id (scan order) wins
@@ -63,6 +71,9 @@ struct PolicySpec {
 
   RankerKind ranker = RankerKind::kCompletion;
   int lookahead = 1000;      ///< plan rankers' planned-task count K (>= 0)
+  /// RankerKind::kLinear feature weights (exactly kLinearFeatureCount,
+  /// finite; empty for every other ranker).
+  std::vector<double> linear_w;
 
   TieKind tie = TieKind::kIndex;
   /// Near-tie band width: candidates scoring within a (1 + eps) factor of
@@ -96,6 +107,7 @@ struct PolicySpec {
 ///   filter:all | filter:free | filter:throttle:<k> | filter:quota:<slack>
 ///   rank:completion|ready|comp|comm|commcomp|queue|const|wrr
 ///   rank:cyclic:<comm|comp|commcomp> | rank:plan:<sljf|sljfwc>[:<K>]
+///   rank:linear:<w0>:<w1>:<w2>:<w3>:<w4>
 ///   tie:index | tie:fastlink | tie:rng[:<seed>]
 ///   gate:always | gate:batch:<n> | gate:pace:<dt>
 /// Parameter sugar:
@@ -105,7 +117,8 @@ struct PolicySpec {
 /// `lookahead` and `seed` supply defaults for specs that do not set them
 /// explicitly (they are the legacy make_scheduler() arguments). Numbers
 /// are parsed strictly: trailing junk ("throttle:2x", "LS-K2junk") throws
-/// std::invalid_argument, as do unknown clauses and out-of-range values.
+/// std::invalid_argument, as do unknown clauses and out-of-range values;
+/// error messages name the offending clause and its character offset.
 PolicySpec parse_policy_spec(const std::string& text, int lookahead = 1000,
                              std::uint64_t seed = 42);
 

@@ -1,5 +1,7 @@
 #include "algorithms/registry.hpp"
 
+#include "algorithms/meta/meta_policy.hpp"
+#include "algorithms/meta/meta_spec.hpp"
 #include "algorithms/policy.hpp"
 #include "algorithms/policy_spec.hpp"
 
@@ -8,12 +10,18 @@ namespace msol::algorithms {
 std::unique_ptr<core::OnlineScheduler> make_scheduler(const std::string& name,
                                                       int lookahead,
                                                       std::uint64_t seed) {
+  if (meta::is_meta_spec(name)) {
+    return meta::make_meta_policy(meta::parse_meta_spec(name, lookahead, seed));
+  }
   return std::make_unique<ComposedPolicy>(
       parse_policy_spec(name, lookahead, seed));
 }
 
 std::string canonical_spec(const std::string& name, int lookahead,
                            std::uint64_t seed) {
+  if (meta::is_meta_spec(name)) {
+    return meta::to_string(meta::parse_meta_spec(name, lookahead, seed));
+  }
   return to_string(parse_policy_spec(name, lookahead, seed));
 }
 

@@ -20,11 +20,16 @@ namespace msol::algorithms {
 /// SLJF variants, `seed` the rng tie-breaks (RANDOM/RLS); explicit spec
 /// clauses override both. Throws std::invalid_argument on unknown names
 /// and malformed specs (including "LS-K2junk" and k <= 0).
+///
+/// Meta specs route to the meta layer instead: "portfolio:<spec>;..."
+/// forward-simulates each member at every decision point and commits the
+/// best member's choice, "hedge:<specA>;<specB>" switches between its two
+/// members on an online regime detector (see algorithms/meta/).
 std::unique_ptr<core::OnlineScheduler> make_scheduler(
     const std::string& name, int lookahead = 1000, std::uint64_t seed = 42);
 
-/// Canonical component decomposition of a registry name or spec string,
-/// serialized (what --list-algorithms prints and result sinks echo).
+/// Canonical component decomposition of a registry name, spec string, or
+/// meta spec, serialized (what --list-algorithms prints and sinks echo).
 std::string canonical_spec(const std::string& name, int lookahead = 1000,
                            std::uint64_t seed = 42);
 

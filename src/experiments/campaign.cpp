@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "algorithms/meta/meta_policy.hpp"
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
@@ -141,6 +142,7 @@ struct RawValues {
   std::vector<double> makespan, max_flow, sum_flow;
   std::vector<double> norm_makespan, norm_max_flow, norm_sum_flow;
   std::vector<double> redispatches, lost_work;
+  std::vector<double> switches;
 };
 
 }  // namespace
@@ -176,6 +178,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       core::validate_or_throw(plat, workload, schedule, options);
       schedules.emplace(name, std::move(schedule));
       disruptions.emplace(name, disruption);
+      const auto* meta =
+          dynamic_cast<const algorithms::meta::MetaPolicy*>(scheduler.get());
+      raw[name].switches.push_back(
+          meta != nullptr ? static_cast<double>(meta->switches()) : 0.0);
     }
 
     const core::Schedule* srpt = nullptr;
@@ -214,6 +220,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     r.norm_sum_flow = util::summarize(values.norm_sum_flow);
     r.redispatches = util::summarize(values.redispatches);
     r.lost_work = util::summarize(values.lost_work);
+    r.switches = util::summarize(values.switches);
     r.makespan_raw = values.makespan;
     r.max_flow_raw = values.max_flow;
     r.sum_flow_raw = values.sum_flow;

@@ -89,6 +89,10 @@ struct AlgorithmResult {
   /// discarded. All-zero under AvailabilityModel::kAlways.
   util::Summary redispatches;
   util::Summary lost_work;
+  /// Meta-policy member changes per platform (portfolio chose a different
+  /// member than last decision; hedge crossed a regime boundary).
+  /// All-zero for plain composed policies.
+  util::Summary switches;
   /// Per-platform raw series behind the summaries, index-aligned with the
   /// campaign's repetitions (entry r is platform r). Result sinks and
   /// cross-campaign significance tests need the unaggregated values.

@@ -13,28 +13,13 @@ core::Schedule simulate_assignment(
         "simulate_assignment: assignment size != workload size");
   }
   core::Schedule schedule;
-  core::Time master_free = 0.0;
-  std::vector<core::Time> slave_ready(
-      static_cast<std::size_t>(platform.size()), 0.0);
-
+  StepSimulator sim(platform);
   for (core::TaskId i = 0; i < workload.size(); ++i) {
-    const core::TaskSpec& spec = workload.at(i);
     const core::SlaveId j = assignment[static_cast<std::size_t>(i)];
     if (j < 0 || j >= platform.size()) {
       throw std::invalid_argument("simulate_assignment: bad slave id");
     }
-    core::TaskRecord rec;
-    rec.task = i;
-    rec.slave = j;
-    rec.release = spec.release;
-    rec.send_start = std::max(master_free, spec.release);
-    rec.send_end = rec.send_start + platform.comm(j) * spec.comm_factor;
-    rec.comp_start =
-        std::max(rec.send_end, slave_ready[static_cast<std::size_t>(j)]);
-    rec.comp_end = rec.comp_start + platform.comp(j) * spec.comp_factor;
-    master_free = rec.send_end;
-    slave_ready[static_cast<std::size_t>(j)] = rec.comp_end;
-    schedule.add(rec);
+    schedule.add(sim.step(i, workload.at(i), j));
   }
   return schedule;
 }
@@ -52,22 +37,14 @@ ObjectiveTriple evaluate_assignment(
     const platform::Platform& platform, const core::Workload& workload,
     const std::vector<core::SlaveId>& assignment) {
   ObjectiveTriple out;
-  core::Time master_free = 0.0;
-  std::vector<core::Time> slave_ready(
-      static_cast<std::size_t>(platform.size()), 0.0);
+  StepSimulator sim(platform);
   for (core::TaskId i = 0; i < workload.size(); ++i) {
     const core::TaskSpec& spec = workload.at(i);
-    const core::SlaveId j = assignment[static_cast<std::size_t>(i)];
-    const core::Time send_end = std::max(master_free, spec.release) +
-                                platform.comm(j) * spec.comm_factor;
-    const core::Time comp_end =
-        std::max(send_end, slave_ready[static_cast<std::size_t>(j)]) +
-        platform.comp(j) * spec.comp_factor;
-    master_free = send_end;
-    slave_ready[static_cast<std::size_t>(j)] = comp_end;
-    out.makespan = std::max(out.makespan, comp_end);
-    out.max_flow = std::max(out.max_flow, comp_end - spec.release);
-    out.sum_flow += comp_end - spec.release;
+    const core::TaskRecord rec =
+        sim.step(i, spec, assignment[static_cast<std::size_t>(i)]);
+    out.makespan = std::max(out.makespan, rec.comp_end);
+    out.max_flow = std::max(out.max_flow, rec.comp_end - spec.release);
+    out.sum_flow += rec.comp_end - spec.release;
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -22,6 +23,48 @@ namespace msol::offline {
 core::Schedule simulate_assignment(const platform::Platform& platform,
                                    const core::Workload& workload,
                                    const std::vector<core::SlaveId>& assignment);
+
+/// Incremental form of the same one-port FIFO arithmetic: one task is
+/// committed per step(), and the port/slave state is public so callers can
+/// seed it mid-run. simulate_assignment / evaluate_assignment are thin
+/// loops over this class; the meta-policy projections
+/// (algorithms/meta/projection.hpp) seed `master_free` / `slave_ready` from
+/// the live engine's observables and continue the simulation from there.
+class StepSimulator {
+ public:
+  explicit StepSimulator(const platform::Platform& platform)
+      : slave_ready(static_cast<std::size_t>(platform.size()), 0.0),
+        platform_(&platform) {}
+
+  /// Commits `spec` (task id `task`) to slave j: the send starts at
+  /// max(master_free, release), with no inserted idle. Returns the fully
+  /// timed record and advances the port and slave state.
+  core::TaskRecord step(core::TaskId task, const core::TaskSpec& spec,
+                        core::SlaveId j) {
+    core::TaskRecord rec;
+    rec.task = task;
+    rec.slave = j;
+    rec.release = spec.release;
+    rec.send_start = std::max(master_free, spec.release);
+    rec.send_end = rec.send_start + platform_->comm(j) * spec.comm_factor;
+    rec.comp_start =
+        std::max(rec.send_end, slave_ready[static_cast<std::size_t>(j)]);
+    rec.comp_end = rec.comp_start + platform_->comp(j) * spec.comp_factor;
+    master_free = rec.send_end;
+    slave_ready[static_cast<std::size_t>(j)] = rec.comp_end;
+    return rec;
+  }
+
+  const platform::Platform& platform() const { return *platform_; }
+
+  /// Time the master's port frees; seedable (>= 0).
+  core::Time master_free = 0.0;
+  /// Per-slave busy-until times; seedable.
+  std::vector<core::Time> slave_ready;
+
+ private:
+  const platform::Platform* platform_;
+};
 
 /// Objective values of simulate_assignment without materializing records;
 /// used in the exhaustive solver's hot loop.

@@ -4,6 +4,7 @@
 //            [--shards K --shard-index I] [--resume] [--manifest FILE]
 //            [--dry-run] [--print-grid] [--quiet]
 //   msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...
+//   msol_run fit SWEEP.csv [--search] [...]
 //   msol_run --list-algorithms
 //
 // Loads a declarative scenario grid (see src/runner/scenario.hpp for the
@@ -22,12 +23,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "algorithms/registry.hpp"
+#include "experiments/spec_fit.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/result_sink.hpp"
@@ -41,6 +44,8 @@ constexpr const char* kUsage =
     "                [--shards K --shard-index I] [--resume]\n"
     "                [--manifest FILE] [--dry-run] [--print-grid] [--quiet]\n"
     "       msol_run merge (--csv OUT | --jsonl OUT) SHARD-OUTPUT...\n"
+    "       msol_run fit SWEEP.csv [--search] [--classes LIST] [--slaves N]\n"
+    "                [--tasks N] [--iterations N] [--restarts N] [--seed S]\n"
     "       msol_run --list-algorithms\n"
     "\n"
     "  --threads N       worker threads (default 1; 0 = all hardware threads)\n"
@@ -57,16 +62,25 @@ constexpr const char* kUsage =
     "\n"
     "  merge             interleave per-shard outputs back into canonical\n"
     "                    single-run order (byte-identical to unsharded)\n"
+    "  fit               regress rank:linear weights per (arrival, avail)\n"
+    "                    regime from a sweep CSV and print the recommended\n"
+    "                    specs; --search additionally runs the adversarial\n"
+    "                    spec-space search over the fitted and single-\n"
+    "                    feature specs per --classes (default: all four),\n"
+    "                    reporting the most robust composition per class\n"
     "  --list-algorithms print registry names with their canonical policy\n"
     "                    specs (any spec in that grammar is a valid\n"
     "                    algorithms= / algo= grid entry)\n";
 
-const std::set<std::string> kValueKeys = {"threads", "csv", "jsonl", "shards",
-                                          "shard-index", "manifest"};
+const std::set<std::string> kValueKeys = {
+    "threads", "csv",     "jsonl",      "shards",   "shard-index", "manifest",
+    "classes", "slaves",  "tasks",      "iterations", "restarts",  "seed"};
 const std::set<std::string> kKnownKeys = {
     "threads", "csv",        "jsonl",      "shards", "shard-index",
     "manifest", "resume",    "dry-run",    "print-grid", "quiet",
-    "help",    "list-algorithms"};
+    "help",    "list-algorithms",
+    "search",  "classes",    "slaves",     "tasks",  "iterations",
+    "restarts", "seed"};
 
 int run_merge(const msol::util::Cli& cli) {
   using namespace msol;
@@ -101,6 +115,86 @@ int run_merge(const msol::util::Cli& cli) {
   return 0;
 }
 
+int run_fit(const msol::util::Cli& cli) {
+  using namespace msol;
+  if (cli.positional().size() != 2) {
+    std::cerr << "msol_run fit: exactly one sweep CSV expected\n" << kUsage;
+    return 2;
+  }
+  const std::vector<experiments::FitSample> samples =
+      experiments::load_fit_samples_file(cli.positional()[1]);
+  std::cout << samples.size() << " usable samples (rank:linear-expressible "
+            << "specs with finite norm_makespan)\n";
+  const std::vector<experiments::FitResult> fits =
+      experiments::fit_linear_weights(samples);
+  if (fits.empty()) {
+    std::cout << "no regime had two distinct weight points; nothing to fit\n";
+    return samples.empty() ? 1 : 0;
+  }
+  std::vector<std::string> fitted_specs;
+  for (const experiments::FitResult& fit : fits) {
+    std::cout << "regime " << fit.regime << " (" << fit.samples
+              << " samples)\n  beta      ";
+    for (double b : fit.beta) std::cout << " " << b;
+    std::cout << "\n  weights   ";
+    for (double w : fit.recommended) std::cout << " " << w;
+    std::cout << "\n  spec       " << fit.spec << "\n";
+    fitted_specs.push_back(fit.spec);
+  }
+
+  if (!cli.has("search")) return 0;
+
+  // Candidate pool: the fitted blends plus the five simplex vertices they
+  // interpolate between.
+  std::vector<std::string> candidates = fitted_specs;
+  for (const char* vertex :
+       {"rank:completion", "rank:comm", "rank:comp", "rank:queue",
+        "rank:ready"}) {
+    candidates.emplace_back(vertex);
+  }
+  std::vector<platform::PlatformClass> classes;
+  const std::string classes_arg = cli.get("classes", "");
+  if (classes_arg.empty()) {
+    classes = {platform::PlatformClass::kFullyHomogeneous,
+               platform::PlatformClass::kCommHomogeneous,
+               platform::PlatformClass::kCompHomogeneous,
+               platform::PlatformClass::kFullyHeterogeneous};
+  } else {
+    std::string token;
+    for (char c : classes_arg + ",") {
+      if (c == ',') {
+        if (!token.empty()) classes.push_back(runner::parse_platform_class(token));
+        token.clear();
+      } else if (c != ' ') {
+        token += c;
+      }
+    }
+  }
+  theory::SearchConfig config;
+  config.num_slaves = static_cast<int>(cli.get_int("slaves", 2));
+  config.num_tasks = static_cast<int>(cli.get_int("tasks", 4));
+  config.iterations = static_cast<int>(cli.get_int("iterations", 400));
+  config.restarts = static_cast<int>(cli.get_int("restarts", 3));
+  config.seed = cli.get_uint64("seed", 2006);
+
+  const std::vector<experiments::RobustSpecResult> report =
+      experiments::robust_spec_search(candidates, classes, config);
+  std::map<std::string, const experiments::RobustSpecResult*> best;
+  for (const experiments::RobustSpecResult& entry : report) {
+    std::cout << platform::to_string(entry.platform_class) << "  "
+              << entry.worst_ratio << "  " << entry.spec << "\n";
+    auto& slot = best[platform::to_string(entry.platform_class)];
+    if (slot == nullptr || entry.worst_ratio < slot->worst_ratio) {
+      slot = &entry;
+    }
+  }
+  for (const auto& [cls, entry] : best) {
+    std::cout << "most robust on " << cls << ": " << entry->spec
+              << " (worst-case ratio " << entry->worst_ratio << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,12 +215,22 @@ int main(int argc, char** argv) {
     if (!cli.positional().empty() && cli.positional()[0] == "merge") {
       return run_merge(cli);
     }
+    if (!cli.positional().empty() && cli.positional()[0] == "fit") {
+      return run_fit(cli);
+    }
     if (cli.has("list-algorithms")) {
       for (const std::string& name : algorithms::listed_algorithm_names()) {
         std::cout << name << "  " << algorithms::canonical_spec(name) << "\n";
       }
       std::cout << "LS-K<k>  (any k >= 1; spec grammar: see README "
                    "\"Composing policies\")\n";
+      std::cout << "rank:linear:<w0>:<w1>:<w2>:<w3>:<w4>  (learned blend of "
+                   "completion/comm/comp/queue/ready; fit with `msol_run "
+                   "fit`)\n";
+      std::cout << "portfolio:<spec>;<spec>[;...]+horizon:<h>  (per-decision "
+                   "forward simulation, best member commits)\n";
+      std::cout << "hedge:<specA>;<specB>+window:<n>+hyst:<k>  (regime "
+                   "detector switches calm->A, bursty/churn->B)\n";
       return 0;
     }
     if (cli.positional().size() != 1) {

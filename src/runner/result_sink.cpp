@@ -57,10 +57,13 @@ std::string json_number(double value) {
   return std::isfinite(value) ? util::fmt_exact(value) : "null";
 }
 
+// "switches" (meta-policy member changes; all-zero for plain policies) is
+// appended last so the pre-meta column prefix is unchanged.
 constexpr const char* kMetricNames[] = {
     "makespan",      "sum_flow",      "max_flow",     "norm_makespan",
-    "norm_sum_flow", "norm_max_flow", "redispatches", "lost_work"};
-constexpr int kMetricCount = 8;
+    "norm_sum_flow", "norm_max_flow", "redispatches", "lost_work",
+    "switches"};
+constexpr int kMetricCount = 9;
 
 /// The summaries of an AlgorithmResult in the sinks' column order.
 const util::Summary* metric_summaries(
@@ -74,6 +77,7 @@ const util::Summary* metric_summaries(
   out[5] = &r.norm_max_flow;
   out[6] = &r.redispatches;
   out[7] = &r.lost_work;
+  out[8] = &r.switches;
   return out[0];
 }
 

@@ -7,7 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "algorithms/policy_spec.hpp"
+#include "algorithms/registry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -266,10 +266,10 @@ ScenarioGrid parse_grid(const std::string& text) {
         throw std::invalid_argument("grid: empty value list in: " + raw);
       }
       // Fail at parse time, not mid-sweep: every entry must be a registry
-      // name or a parseable policy spec.
+      // name, a parseable policy spec, or a meta spec (portfolio:/hedge:).
       for (const std::string& spec : grid.algorithms) {
         try {
-          algorithms::parse_policy_spec(spec);
+          algorithms::canonical_spec(spec);
         } catch (const std::invalid_argument& error) {
           throw std::invalid_argument(std::string("grid: ") + error.what() +
                                       " in: " + raw);
