@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -173,21 +175,33 @@ BENCHMARK(BM_ExhaustiveSolver)->Arg(6)->Arg(9)->Arg(12);
 
 // --- reduced self-timed --json mode ----------------------------------------
 
+struct SelfTimed {
+  double events_per_sec = 0.0;  // best-of-reps, simulate() only
+  double setup_sec = 0.0;       // platform + workload + scheduler build
+};
+
 /// Best-of-`reps` wall-clock throughput of one simulate() configuration, in
-/// scheduled tasks ("events") per second.
-double events_per_sec(const char* policy, int m, int n, int reps) {
+/// scheduled tasks ("events") per second. Setup (platform, workload and
+/// scheduler construction) is timed separately and never counts toward the
+/// throughput figure.
+SelfTimed events_per_sec(const char* policy, int m, int n, int reps) {
+  SelfTimed out;
+  const auto setup_start = std::chrono::steady_clock::now();
   const platform::Platform plat = bench_platform(m);
   const core::Workload work = bench_workload(plat, n);
   const auto scheduler = algorithms::make_scheduler(policy);
-  double best = 0.0;
+  out.setup_sec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - setup_start)
+                      .count();
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(core::simulate(plat, work, *scheduler).makespan());
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
-    if (elapsed.count() > 0.0) best = std::max(best, n / elapsed.count());
+    if (elapsed.count() > 0.0)
+      out.events_per_sec = std::max(out.events_per_sec, n / elapsed.count());
   }
-  return best;
+  return out;
 }
 
 int run_json(const std::string& path) {
@@ -209,15 +223,23 @@ int run_json(const std::string& path) {
                      "\"cases\":[";
   bool first = true;
   for (const Case& c : cases) {
-    const double rate = events_per_sec(c.policy, c.slaves, c.tasks, c.reps);
+    const SelfTimed timed = events_per_sec(c.policy, c.slaves, c.tasks, c.reps);
+    // ru_maxrss is the process high-water mark, monotone across cases; the
+    // per-case value records the peak as of this case's completion.
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
     if (!first) json += ',';
     first = false;
     json += "{\"policy\":\"" + std::string(c.policy) + "\"";
     json += ",\"slaves\":" + std::to_string(c.slaves);
     json += ",\"tasks\":" + std::to_string(c.tasks);
-    json += ",\"events_per_sec\":" + std::to_string(rate) + "}";
+    json += ",\"events_per_sec\":" + std::to_string(timed.events_per_sec);
+    json += ",\"setup_sec\":" + std::to_string(timed.setup_sec);
+    json += ",\"rss_peak_kb\":" + std::to_string(usage.ru_maxrss) + "}";
     std::cout << c.policy << " m=" << c.slaves << " n=" << c.tasks << ": "
-              << rate << " tasks/sec\n";
+              << timed.events_per_sec << " tasks/sec (setup "
+              << timed.setup_sec << " s, peak RSS " << usage.ru_maxrss
+              << " kb)\n";
   }
   json += "]}";
   std::ofstream out(path);

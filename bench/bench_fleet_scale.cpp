@@ -1,0 +1,238 @@
+// Fleet-scale engine throughput: calendar queue + SoA ranking kernel vs the
+// retained heap/scalar baseline, at platform sizes the micro-bench never
+// reaches (up to 4096 slaves x 100k tasks). Every row runs the IDENTICAL
+// (platform, workload, policy) through two engine configurations:
+//
+//   heap     EngineOptions{event_queue=kHeap, scalar_probes=true} — the
+//            pre-fleet hot path: binary-heap event queue, per-slave virtual
+//            probe loops.
+//   calendar EngineOptions{} — the default: bucketed calendar queue,
+//            batched branch-free ranking kernel over the SoA slave state.
+//
+// Output is events (scheduled tasks) per second, the speedup ratio, setup
+// time (platform + workload generation, EXCLUDED from the timed region) and
+// the process peak RSS after the row (getrusage ru_maxrss — monotone across
+// rows, so rows run smallest-first and the last row's value is the run's
+// peak).
+//
+// Modes:
+//   (no args)            full-scale table to stdout
+//   --scale=small        reduced rows (CI smoke on shared runners)
+//   --json[=FILE]        also write machine-readable BENCH_fleet.json
+//   --check-schema=FILE  no benching: verify FILE carries every key this
+//                        binary emits (schema-drift guard for the committed
+//                        BENCH_fleet.json); exit 1 on drift.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "experiments/campaign.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace msol;
+
+// Keeps simulate() results observable without google-benchmark.
+volatile double g_sink = 0.0;
+
+/// Peak resident set of this process so far, in kilobytes.
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+struct Row {
+  const char* policy;
+  int slaves;
+  int tasks;
+  int reps;  // best-of-reps on both configurations
+};
+
+struct RowResult {
+  Row row;
+  double heap_eps = 0.0;      // events/sec, heap + scalar baseline
+  double calendar_eps = 0.0;  // events/sec, calendar + kernel default
+  double setup_sec = 0.0;     // platform + workload generation
+  long rss_peak_kb = 0;       // process peak RSS after this row
+  double speedup() const {
+    return heap_eps > 0.0 ? calendar_eps / heap_eps : 0.0;
+  }
+};
+
+/// Best-of-reps throughput of one engine configuration. The scheduler is
+/// constructed inside (stateful policies must start fresh per rep) but the
+/// timed region covers only simulate().
+double best_events_per_sec(const platform::Platform& plat,
+                           const core::Workload& work, const char* policy,
+                           core::EngineOptions options, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto scheduler = algorithms::make_scheduler(policy);
+    const auto start = std::chrono::steady_clock::now();
+    g_sink = core::simulate(plat, work, *scheduler, options).makespan();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > 0.0)
+      best = std::max(best, work.size() / elapsed.count());
+  }
+  return best;
+}
+
+RowResult run_row(const Row& row) {
+  RowResult out;
+  out.row = row;
+
+  const auto setup_start = std::chrono::steady_clock::now();
+  util::Rng prng(42);
+  const platform::Platform plat = platform::PlatformGenerator().generate(
+      platform::PlatformClass::kFullyHeterogeneous, row.slaves, prng);
+  util::Rng wrng(7);
+  const double rate = 0.9 * experiments::max_throughput(plat);
+  const core::Workload work = core::Workload::poisson(row.tasks, rate, wrng);
+  out.setup_sec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - setup_start)
+                      .count();
+
+  core::EngineOptions heap;
+  heap.event_queue = core::EventQueueChoice::kHeap;
+  heap.scalar_probes = true;
+  out.heap_eps = best_events_per_sec(plat, work, row.policy, heap, row.reps);
+
+  core::EngineOptions fleet;  // defaults: calendar queue + ranking kernel
+  out.calendar_eps =
+      best_events_per_sec(plat, work, row.policy, fleet, row.reps);
+
+  out.rss_peak_kb = peak_rss_kb();
+  return out;
+}
+
+std::vector<Row> rows_for_scale(bool small) {
+  if (small) {
+    // CI smoke: exercises both configurations and the JSON schema in a few
+    // seconds; speedups at this size are not the acceptance numbers.
+    return {{"LS", 64, 5000, 2}, {"RR", 128, 8000, 2}, {"LS", 128, 8000, 2}};
+  }
+  return {{"LS", 256, 20000, 2},
+          {"RR", 1024, 50000, 2},
+          {"LS", 1024, 50000, 2},
+          {"RR", 4096, 100000, 1},
+          {"LS", 4096, 100000, 1}};
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string to_json(const std::vector<RowResult>& results, bool small) {
+  std::string json = "{\"bench\":\"fleet_scale\",\"unit\":\"events/sec\"";
+  json += ",\"scale\":\"" + std::string(small ? "small" : "full") + "\"";
+  json += ",\"cases\":[";
+  bool first = true;
+  for (const RowResult& r : results) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"policy\":\"" + std::string(r.row.policy) + "\"";
+    json += ",\"slaves\":" + std::to_string(r.row.slaves);
+    json += ",\"tasks\":" + std::to_string(r.row.tasks);
+    json += ",\"events_per_sec_heap\":" + fmt(r.heap_eps);
+    json += ",\"events_per_sec_calendar\":" + fmt(r.calendar_eps);
+    json += ",\"speedup\":" + fmt(r.speedup());
+    json += ",\"setup_sec\":" + fmt(r.setup_sec);
+    json += ",\"rss_peak_kb\":" + std::to_string(r.rss_peak_kb) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+/// Every key the JSON emitter above writes; --check-schema fails if the
+/// committed artifact is missing any of them (i.e. the schema drifted
+/// without the artifact being regenerated).
+const char* const kSchemaKeys[] = {
+    "\"bench\":\"fleet_scale\"", "\"unit\":\"events/sec\"",
+    "\"scale\":",                "\"cases\":",
+    "\"policy\":",               "\"slaves\":",
+    "\"tasks\":",                "\"events_per_sec_heap\":",
+    "\"events_per_sec_calendar\":", "\"speedup\":",
+    "\"setup_sec\":",            "\"rss_peak_kb\":",
+};
+
+int check_schema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_fleet_scale: cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  int missing = 0;
+  for (const char* key : kSchemaKeys) {
+    if (contents.find(key) == std::string::npos) {
+      std::cerr << "schema drift: " << path << " is missing " << key << "\n";
+      ++missing;
+    }
+  }
+  if (missing == 0) std::cout << path << ": schema OK\n";
+  return missing == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  bool json = false;
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale=small") {
+      small = true;
+    } else if (arg == "--scale=full") {
+      small = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--check-schema=", 0) == 0) {
+      return check_schema(arg.substr(15));
+    } else {
+      std::cerr << "usage: bench_fleet_scale [--scale=small|full] "
+                   "[--json[=FILE]] [--check-schema=FILE]\n";
+      return 1;
+    }
+  }
+
+  std::vector<RowResult> results;
+  for (const Row& row : rows_for_scale(small)) {
+    RowResult r = run_row(row);
+    std::cout << r.row.policy << " m=" << r.row.slaves << " n=" << r.row.tasks
+              << ": heap " << r.heap_eps << " ev/s, calendar "
+              << r.calendar_eps << " ev/s (x" << r.speedup() << "), setup "
+              << r.setup_sec << " s, peak RSS " << r.rss_peak_kb << " kb\n";
+    results.push_back(r);
+  }
+
+  if (json) {
+    std::ofstream out(json_path);
+    out << to_json(results, small) << "\n";
+    if (!out) {
+      std::cerr << "bench_fleet_scale: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

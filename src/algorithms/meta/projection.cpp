@@ -132,6 +132,37 @@ core::Time EngineProjection::completion_if_assigned(core::TaskId task,
   return comp_start + eff_platform_.comp(j) * spec.comp_factor;
 }
 
+core::SlaveStateView EngineProjection::slave_state() const {
+  // The effective comp array already folds the frozen speed in, so the
+  // kernel runs its no-division form (speed stays null).
+  core::SlaveStateView s;
+  s.comm = platform_.comm_data();
+  s.comp = eff_platform_.comp_data();
+  s.ready = sim_.slave_ready.data();
+  s.online = online_.data();
+  s.m = platform_.size();
+  return s;
+}
+
+void EngineProjection::completion_if_assigned_batch(core::TaskId task,
+                                                    const core::SlaveId* slaves,
+                                                    int n,
+                                                    core::Time* out) const {
+  const core::TaskSpec& spec = task_spec(task);  // one list walk, not n
+  const core::Time send_start =
+      std::max({now_, port_free_at(), spec.release});
+  core::completion_gather(slave_state(), now_, send_start, spec.comm_factor,
+                          spec.comp_factor, slaves, n, out);
+}
+
+core::SlaveId EngineProjection::best_completion_slave(core::TaskId task) const {
+  const core::TaskSpec& spec = task_spec(task);
+  const core::Time send_start =
+      std::max({now_, port_free_at(), spec.release});
+  return core::rank_best_completion(slave_state(), now_, send_start,
+                                    spec.comm_factor, spec.comp_factor);
+}
+
 void EngineProjection::commit(const core::Assign& assign) {
   if (pending_.empty() || assign.task != pending_.front()) {
     throw std::logic_error(

@@ -65,6 +65,16 @@ class EngineProjection : public core::EngineView {
   std::optional<core::SlaveId> assignment_of(core::TaskId task) const override;
   core::Time completion_if_assigned(core::TaskId task,
                                     core::SlaveId j) const override;
+  /// Batched probes through the ranking kernel over the projection's dense
+  /// arrays. Besides the per-slave arithmetic, these hoist the O(pending)
+  /// task_spec list walk out of the per-slave loop — the meta layer's
+  /// portfolio scoring calls the probes once per (member, decision, slave),
+  /// making this the projection's hot path.
+  void completion_if_assigned_batch(core::TaskId task,
+                                    const core::SlaveId* slaves, int n,
+                                    core::Time* out) const override;
+  core::SlaveStateView slave_state() const override;
+  core::SlaveId best_completion_slave(core::TaskId task) const override;
   const core::Schedule& schedule() const override { return schedule_; }
   const core::Trace& trace() const override { return trace_; }
 
@@ -78,7 +88,7 @@ class EngineProjection : public core::EngineView {
   platform::Platform eff_platform_;  ///< p_j scaled by current speed
   offline::StepSimulator sim_;       ///< seeded port/slave busy state
   core::Time now_ = 0.0;
-  std::vector<bool> online_;
+  std::vector<std::uint8_t> online_;  ///< byte-dense for SlaveStateView
   std::vector<double> speed_;
   std::vector<core::Time> base_ready_;  ///< snapshot slave_ready_at
   std::vector<int> base_in_system_;     ///< snapshot tasks_in_system

@@ -44,13 +44,17 @@ std::vector<double> normalized_shares(const platform::Platform& platform) {
 core::SlaveId best_completion_in(const core::EngineView& engine,
                                  core::TaskId task,
                                  const std::vector<core::SlaveId>& candidates) {
+  thread_local std::vector<core::Time> probe;
+  probe.resize(candidates.size());
+  engine.completion_if_assigned_batch(task, candidates.data(),
+                                      static_cast<int>(candidates.size()),
+                                      probe.data());
   core::SlaveId best = -1;
   core::Time best_completion = 0.0;
-  for (core::SlaveId j : candidates) {
-    const core::Time completion = engine.completion_if_assigned(task, j);
-    if (best < 0 || completion < best_completion - core::kTimeEps) {
-      best = j;
-      best_completion = completion;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best < 0 || probe[i] < best_completion - core::kTimeEps) {
+      best = candidates[i];
+      best_completion = probe[i];
     }
   }
   return best;
@@ -62,6 +66,15 @@ class AllFilter : public CandidateFilter {
  public:
   void collect(const core::EngineView& engine, core::TaskId,
                std::vector<core::SlaveId>& out) override {
+    const core::SlaveStateView s = engine.slave_state();
+    if (!s.empty()) {
+      // Dense sweep over the online byte array (or a straight fill when the
+      // engine reports everything online) instead of m virtual probes.
+      for (core::SlaveId j = 0; j < s.m; ++j) {
+        if (s.online == nullptr || s.online[j] != 0) out.push_back(j);
+      }
+      return;
+    }
     for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
       if (engine.is_available(j)) out.push_back(j);
     }
@@ -73,6 +86,19 @@ class FreeFilter : public CandidateFilter {
  public:
   void collect(const core::EngineView& engine, core::TaskId,
                std::vector<core::SlaveId>& out) override {
+    const core::SlaveStateView s = engine.slave_state();
+    if (!s.empty()) {
+      // slave_free_now(j) is slave_ready_at(j) <= now + eps, and
+      // slave_ready_at clamps ready to now — so on the raw array the test
+      // reduces to ready[j] <= now + eps, bit-identical to the probe.
+      const core::Time cutoff = engine.now() + core::kTimeEps;
+      for (core::SlaveId j = 0; j < s.m; ++j) {
+        if ((s.online == nullptr || s.online[j] != 0) && s.ready[j] <= cutoff) {
+          out.push_back(j);
+        }
+      }
+      return;
+    }
     for (core::SlaveId j = 0; j < engine.platform().size(); ++j) {
       if (engine.is_available(j) && engine.slave_free_now(j)) out.push_back(j);
     }
@@ -144,9 +170,9 @@ class CompletionRanker : public Ranker {
   void score(const core::EngineView& engine, core::TaskId task,
              const std::vector<core::SlaveId>& candidates,
              std::vector<double>& scores) override {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      scores[i] = engine.completion_if_assigned(task, candidates[i]);
-    }
+    engine.completion_if_assigned_batch(task, candidates.data(),
+                                        static_cast<int>(candidates.size()),
+                                        scores.data());
   }
 };
 
@@ -216,9 +242,13 @@ class LinearRanker : public Ranker {
              const std::vector<core::SlaveId>& candidates,
              std::vector<double>& scores) override {
     const platform::Platform& plat = engine.platform();
+    completions_.resize(candidates.size());
+    engine.completion_if_assigned_batch(task, candidates.data(),
+                                        static_cast<int>(candidates.size()),
+                                        completions_.data());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const core::SlaveId j = candidates[i];
-      scores[i] = w_[0] * engine.completion_if_assigned(task, j) +
+      scores[i] = w_[0] * completions_[i] +
                   w_[1] * plat.comm(j) + w_[2] * plat.comp(j) +
                   w_[3] * static_cast<double>(engine.tasks_in_system(j)) +
                   w_[4] * engine.slave_ready_at(j);
@@ -227,6 +257,7 @@ class LinearRanker : public Ranker {
 
  private:
   std::vector<double> w_;
+  std::vector<core::Time> completions_;  ///< batch-probe scratch
 };
 
 /// All-equal scores: selection is pure tie-break (RANDOM = const + rng).

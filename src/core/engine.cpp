@@ -36,7 +36,10 @@ void OnePortEngine::reset(platform::Platform platform,
   options_ = std::move(options);
 
   now_ = 0.0;
-  tasks_.clear();
+  task_specs_.clear();
+  task_released_.clear();
+  task_committed_.clear();
+  task_slave_.clear();
   release_order_.clear();
   next_release_idx_ = 0;
   pending_next_.clear();
@@ -54,7 +57,20 @@ void OnePortEngine::reset(platform::Platform platform,
   slave_comp_ends_.resize(m);
   for (std::vector<Time>& ends : slave_comp_ends_) ends.clear();
   committed_ = 0;
-  events_.clear();
+  EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
+  switch (options_.event_queue) {
+    case EventQueueChoice::kAuto:
+#ifdef MSOL_HEAP_EVENT_QUEUE
+      queue_impl = EventQueueImpl::kHeap;
+#endif
+      break;
+    case EventQueueChoice::kCalendar:
+      break;
+    case EventQueueChoice::kHeap:
+      queue_impl = EventQueueImpl::kHeap;
+      break;
+  }
+  events_.configure(queue_impl);  // also drops any stale entries
   wake_gen_ = 0;
   schedule_.clear();
   trace_.clear();
@@ -119,8 +135,12 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
         "OnePortEngine: cannot inject a task released in the past");
   }
   spec.release = std::max(spec.release, now_);
-  const TaskId id = static_cast<TaskId>(tasks_.size());
-  tasks_.push_back(TaskState{spec, /*released=*/false, /*committed=*/false, -1});
+  const TaskId id = static_cast<TaskId>(task_specs_.size());
+  const Time release = spec.release;
+  task_specs_.push_back(std::move(spec));
+  task_released_.push_back(0);
+  task_committed_.push_back(0);
+  task_slave_.push_back(-1);
   pending_next_.push_back(-1);
   pending_prev_.push_back(-1);
   in_pending_.push_back(0);
@@ -130,9 +150,9 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
   const auto first = release_order_.begin() +
                      static_cast<std::ptrdiff_t>(next_release_idx_);
   const auto pos = std::upper_bound(
-      first, release_order_.end(), spec.release,
+      first, release_order_.end(), release,
       [this](Time r, TaskId t) {
-        return r < tasks_[static_cast<std::size_t>(t)].spec.release;
+        return r < task_specs_[static_cast<std::size_t>(t)].release;
       });
   release_order_.insert(pos, id);
   return id;
@@ -174,13 +194,14 @@ void OnePortEngine::pending_erase(TaskId id) {
 void OnePortEngine::process_releases() {
   while (next_release_idx_ < release_order_.size()) {
     const TaskId id = release_order_[next_release_idx_];
-    TaskState& task = tasks_[static_cast<std::size_t>(id)];
-    if (task.spec.release > now_ + kTimeEps) break;
+    const std::size_t i = static_cast<std::size_t>(id);
+    const Time release = task_specs_[i].release;
+    if (release > now_ + kTimeEps) break;
     ++next_release_idx_;
-    task.released = true;
+    task_released_[i] = 1;
     pending_push_back(id);
     if (options_.enable_trace) {
-      trace_.record(TraceEvent{TraceEvent::Kind::kRelease, task.spec.release,
+      trace_.record(TraceEvent{TraceEvent::Kind::kRelease, release,
                                id, -1, 0.0});
     }
     scheduler_->on_task_released(*this, id);
@@ -242,9 +263,8 @@ void OnePortEngine::handle_offline(SlaveId j, Time t) {
     std::vector<Time>& ends = slave_comp_ends_[js];
     ends.resize(ends.size() - doomed.size());
     for (TaskId id : doomed) {
-      TaskState& task = tasks_[static_cast<std::size_t>(id)];
-      task.committed = false;
-      task.slave = -1;
+      task_committed_[static_cast<std::size_t>(id)] = 0;
+      task_slave_[static_cast<std::size_t>(id)] = -1;
       --committed_;
       ++disruption_.redispatches;
       pending_push_back(id);
@@ -303,18 +323,18 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
   }
   pending_erase(task_id);
 
-  TaskState& task = tasks_[static_cast<std::size_t>(task_id)];
-  task.committed = true;
-  task.slave = slave;
+  const TaskSpec& spec = task_specs_[static_cast<std::size_t>(task_id)];
+  task_committed_[static_cast<std::size_t>(task_id)] = 1;
+  task_slave_[static_cast<std::size_t>(task_id)] = slave;
   ++committed_;
 
   TaskRecord rec;
   rec.task = task_id;
   rec.slave = slave;
-  rec.release = task.spec.release;
+  rec.release = spec.release;
   rec.send_start = now_;
   rec.send_end =
-      now_ + platform_->comm(slave) * task.spec.comm_factor;
+      now_ + platform_->comm(slave) * spec.comm_factor;
 
   bool doomed = false;
   if (!avail_enabled_) {
@@ -322,7 +342,7 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
     // bit-identical to ReferenceEngine (test_engine_diff).
     rec.comp_start = std::max(rec.send_end, slave_ready_[js]);
     rec.comp_end = rec.comp_start +
-                   platform_->comp(slave) * task.spec.comp_factor *
+                   platform_->comp(slave) * spec.comp_factor *
                        slowdown_factor_at(options_.slowdowns, slave,
                                           rec.comp_start);
     slave_ready_[js] = rec.comp_end;
@@ -334,7 +354,7 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
     double partial_work = 0.0;
     if (!doomed) {
       const Time exec_start = std::max(rec.send_end, slave_act_busy_[js]);
-      const double work = platform_->comp(slave) * task.spec.comp_factor *
+      const double work = platform_->comp(slave) * spec.comp_factor *
                           slowdown_factor_at(options_.slowdowns, slave,
                                              exec_start);
       const std::optional<Time> outage = profile.next_offline_after(now_);
@@ -363,7 +383,7 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
       doomed_partial_work_[js] += partial_work;
       const Time plan_start = std::max(rec.send_end, slave_ready_[js]);
       const double plan_work =
-          platform_->comp(slave) * task.spec.comp_factor *
+          platform_->comp(slave) * spec.comp_factor *
           slowdown_factor_at(options_.slowdowns, slave, plan_start);
       slave_ready_[js] = plan_start + plan_work / slave_speed_[js];
       slave_comp_ends_[js].push_back(slave_ready_[js]);
@@ -409,7 +429,7 @@ std::optional<Time> OnePortEngine::next_wakeup() {
   // (its O(slaves * log tasks) inner loop) and WaitUntil wake-ups.
   if (next_release_idx_ < release_order_.size()) {
     const TaskId id = release_order_[next_release_idx_];
-    consider(tasks_[static_cast<std::size_t>(id)].spec.release);
+    consider(task_specs_[static_cast<std::size_t>(id)].release);
   }
   for (Time t : port_busy_until_) consider(t);
   // Lazy pruning: an entry at or before now() can never matter again (time
@@ -544,14 +564,13 @@ const TaskSpec& OnePortEngine::task_spec(TaskId i) const {
   if (i < 0 || i >= total_tasks()) {
     throw std::out_of_range("OnePortEngine: task id out of range");
   }
-  return tasks_[static_cast<std::size_t>(i)].spec;
+  return task_specs_[static_cast<std::size_t>(i)];
 }
 
 std::optional<SlaveId> OnePortEngine::assignment_of(TaskId task) const {
   if (task < 0 || task >= total_tasks()) return std::nullopt;
-  const TaskState& state = tasks_[static_cast<std::size_t>(task)];
-  if (!state.committed) return std::nullopt;
-  return state.slave;
+  if (task_committed_[static_cast<std::size_t>(task)] == 0) return std::nullopt;
+  return task_slave_[static_cast<std::size_t>(task)];
 }
 
 Time OnePortEngine::completion_if_assigned(TaskId task, SlaveId j) const {
@@ -571,33 +590,46 @@ Time OnePortEngine::completion_if_assigned(TaskId task, SlaveId j) const {
   return comp_start + compute;
 }
 
+SlaveStateView OnePortEngine::slave_state() const {
+  if (options_.scalar_probes) return SlaveStateView{};
+  SlaveStateView s;
+  s.comm = platform_->comm_data();
+  s.comp = platform_->comp_data();
+  s.ready = slave_ready_.data();
+  if (avail_enabled_) {
+    s.online = slave_online_.data();
+    s.speed = slave_speed_.data();
+  }
+  s.m = platform_->size();
+  return s;
+}
+
+void OnePortEngine::completion_if_assigned_batch(TaskId task,
+                                                 const SlaveId* slaves, int n,
+                                                 Time* out) const {
+  const SlaveStateView s = slave_state();
+  if (s.empty()) {  // scalar_probes baseline: the generic virtual loop
+    EngineView::completion_if_assigned_batch(task, slaves, n, out);
+    return;
+  }
+  const TaskSpec& spec = task_spec(task);
+  const Time send_start = std::max({now_, port_free_at(), spec.release});
+  completion_gather(s, now_, send_start, spec.comm_factor, spec.comp_factor,
+                    slaves, n, out);
+}
+
 SlaveId OnePortEngine::best_completion_slave(TaskId task) const {
   // Same arithmetic and tie-break as the EngineView default, with the
   // loop-invariant send-start hoisted and the per-slave virtual probes
-  // flattened into direct state access. test_engine_diff keeps this honest
-  // against the default implementation running on ReferenceEngine.
+  // flattened into the batched ranking kernel over the engine's dense
+  // arrays. test_engine_diff keeps this honest against the default
+  // implementation running on ReferenceEngine.
+  const SlaveStateView s = slave_state();
+  if (s.empty()) return EngineView::best_completion_slave(task);
   const TaskSpec& spec = task_spec(task);
   const Time send_start = std::max({now_, port_free_at(), spec.release});
-  const platform::Platform& plat = *platform_;
-  SlaveId best = -1;
-  Time best_completion = 0.0;
-  for (SlaveId j = 0; j < plat.size(); ++j) {
-    if (avail_enabled_ && slave_online_[static_cast<std::size_t>(j)] == 0) {
-      continue;
-    }
-    const Time send_end = send_start + plat.comm(j) * spec.comm_factor;
-    const Time comp_start =
-        std::max(send_end,
-                 std::max(now_, slave_ready_[static_cast<std::size_t>(j)]));
-    Time compute = plat.comp(j) * spec.comp_factor;
-    if (avail_enabled_) compute /= slave_speed_[static_cast<std::size_t>(j)];
-    const Time completion = comp_start + compute;
-    if (best < 0 || completion < best_completion - kTimeEps) {
-      best = j;
-      best_completion = completion;
-    }
-  }
-  return best;
+  return rank_best_completion(s, now_, send_start, spec.comm_factor,
+                              spec.comp_factor);
 }
 
 Schedule simulate(const platform::Platform& platform, const Workload& workload,

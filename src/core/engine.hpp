@@ -41,6 +41,14 @@ struct SlowdownWindow {
 double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
                           SlaveId slave, Time comp_start);
 
+/// Which EventQueue implementation an engine uses. kAuto resolves to the
+/// calendar queue unless the build was configured with
+/// -DMSOL_HEAP_EVENT_QUEUE (the build-level escape hatch that flips every
+/// kAuto engine in a binary back onto the heap); the explicit choices pin
+/// one implementation regardless of build flags — the differential harness
+/// uses them to run calendar-vs-heap engines side by side in one process.
+enum class EventQueueChoice : std::uint8_t { kAuto, kCalendar, kHeap };
+
 /// Engine knobs.
 struct EngineOptions {
   /// Number of simultaneous sends the master may have in flight.
@@ -58,6 +66,15 @@ struct EngineOptions {
   std::vector<platform::AvailabilityProfile> availability;
   /// Record a decision/event log readable via OnePortEngine::trace().
   bool enable_trace = false;
+  /// Event-calendar implementation (see EventQueueChoice). Behavior is
+  /// identical either way — only the cost of push/pop changes.
+  EventQueueChoice event_queue = EventQueueChoice::kAuto;
+  /// Disable the batched ranking-kernel probe paths: slave_state() reports
+  /// empty and the batch probes fall back to the generic per-slave virtual
+  /// loops. This is the measurable pre-kernel baseline bench_fleet_scale
+  /// compares against, and a third triangulation point for the differential
+  /// suite (kernel vs scalar vs ReferenceEngine must all agree).
+  bool scalar_probes = false;
 };
 
 /// What time-varying availability cost a run: how often work had to be
@@ -83,12 +100,13 @@ struct DisruptionStats {
 ///    is pending, and may Defer (leave the master idle until the next event).
 ///
 /// Decision instants come from an event calendar: slave completions and
-/// WaitUntil wake-ups are pushed into a binary min-heap (EventQueue) when
-/// they become known and consumed lazily, while releases keep their sorted
-/// cursor and port frees their capacity-bounded array. Advancing time thus
-/// costs O(log events) instead of the O(slaves * log tasks) scan the
-/// pre-calendar engine (retained verbatim as ReferenceEngine) performs at
-/// every step. The pending set is an intrusive doubly-linked list indexed
+/// WaitUntil wake-ups are pushed into an EventQueue (a bucketed calendar
+/// queue by default, O(1) amortized; a binary min-heap behind
+/// EngineOptions::event_queue — see EventQueueChoice) when they become
+/// known and consumed lazily, while releases keep their sorted cursor and
+/// port frees their capacity-bounded array. Advancing time thus costs O(1)
+/// amortized instead of the O(slaves * log tasks) scan the pre-calendar
+/// engine (retained verbatim as ReferenceEngine) performs at every step. The pending set is an intrusive doubly-linked list indexed
 /// by task id, making commit() O(1) where the reference engine pays an
 /// O(pending) find + erase. tests/test_engine_diff.cpp proves the two
 /// engines produce bit-identical schedules and traces.
@@ -180,23 +198,21 @@ class OnePortEngine final : public EngineView {
   TaskId pending_front() const override;
   std::vector<TaskId> pending_tasks() const override;
   int pending_count() const override { return pending_count_; }
-  int total_tasks() const override { return static_cast<int>(tasks_.size()); }
+  int total_tasks() const override {
+    return static_cast<int>(task_specs_.size());
+  }
   int completed_or_committed() const override { return committed_; }
   const TaskSpec& task_spec(TaskId i) const override;
   std::optional<SlaveId> assignment_of(TaskId task) const override;
   Time completion_if_assigned(TaskId task, SlaveId j) const override;
+  void completion_if_assigned_batch(TaskId task, const SlaveId* slaves, int n,
+                                    Time* out) const override;
+  SlaveStateView slave_state() const override;
   SlaveId best_completion_slave(TaskId task) const override;
   const Schedule& schedule() const override { return schedule_; }
   const Trace& trace() const override { return trace_; }
 
  private:
-  struct TaskState {
-    TaskSpec spec;
-    bool released = false;
-    bool committed = false;
-    SlaveId slave = -1;
-  };
-
   void require_bound() const;
   void process_releases();
   /// Applies every availability transition with instant <= now(): updates
@@ -224,7 +240,14 @@ class OnePortEngine final : public EngineView {
   EngineOptions options_;
 
   Time now_ = 0.0;
-  std::vector<TaskState> tasks_;
+  /// Task state, structure-of-arrays (one vector per field, indexed by task
+  /// id): the probe and release hot paths each touch exactly one field of
+  /// many tasks, so splitting the old TaskState struct keeps those sweeps
+  /// on dense, homogeneous cache lines at fleet scale.
+  std::vector<TaskSpec> task_specs_;
+  std::vector<std::uint8_t> task_released_;
+  std::vector<std::uint8_t> task_committed_;
+  std::vector<SlaveId> task_slave_;
   std::vector<TaskId> release_order_;  ///< task ids sorted by release
   std::size_t next_release_idx_ = 0;
 

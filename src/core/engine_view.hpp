@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/rank_kernel.hpp"
 #include "core/schedule.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
@@ -92,6 +93,26 @@ class EngineView {
   /// slave j made at time now(): the quantity list scheduling minimizes.
   /// Deliberately nominal — blind to injected background load.
   virtual Time completion_if_assigned(TaskId task, SlaveId j) const = 0;
+
+  /// Batched completion probe: out[i] = completion_if_assigned(task,
+  /// slaves[i]) for n candidate slaves. Engines with dense state override
+  /// this to hoist the per-task terms (spec lookup, send-start max chain)
+  /// out of the loop and run the ranking kernel over their arrays; the
+  /// default is the plain probe loop, which ReferenceEngine keeps so the
+  /// differential suite pins the override to the scalar semantics.
+  virtual void completion_if_assigned_batch(TaskId task, const SlaveId* slaves,
+                                            int n, Time* out) const {
+    for (int i = 0; i < n; ++i) out[i] = completion_if_assigned(task, slaves[i]);
+  }
+
+  /// Structure-of-arrays snapshot of the per-slave probe state, for policy
+  /// components that rank every slave at once through the batched kernel
+  /// (core/rank_kernel.hpp). Engines that do not maintain dense arrays —
+  /// the frozen ReferenceEngine on purpose — return an empty() view, and
+  /// callers fall back to the virtual probes; the differential harness runs
+  /// both paths against each other. Pointers are valid only until the
+  /// engine's next mutation.
+  virtual SlaveStateView slave_state() const { return SlaveStateView{}; }
 
   /// The available slave minimizing completion_if_assigned(task, j), with
   /// list scheduling's exact tie-break: a later slave wins only when

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,7 +14,7 @@ namespace msol::core {
 /// before acting (see OnePortEngine::next_wakeup).
 ///
 /// Only the event families that would otherwise need a scan live in the
-/// heap. Releases keep their sorted-order cursor and port frees their
+/// queue. Releases keep their sorted-order cursor and port frees their
 /// capacity-bounded array (both O(1)-ish to consult), so enqueueing them
 /// would be pure overhead — measured at ~25% of engine time on small
 /// platforms.
@@ -36,45 +36,100 @@ struct Event {
   std::uint32_t gen = 0;
 };
 
-/// Binary min-heap event calendar: the single source of future wake-up
-/// instants for the event-driven engine. Replaces the per-step linear scans
-/// over ports, slaves and per-slave completion lists that the pre-calendar
-/// engine (retained as ReferenceEngine) performs in its next_wakeup().
+/// Which machinery orders the pending events.
+///
+///   kCalendar — Brown-style bucketed calendar queue: O(1) amortized push
+///               and pop for the engine's event pattern (a dense moving
+///               window of near-future instants). The fleet-scale default.
+///   kHeap     — the original binary min-heap: O(log n) per op, but immune
+///               to pathological time distributions (e.g. everything at one
+///               instant, where a calendar degenerates to one bucket). Also
+///               the retained baseline the differential harness compares
+///               the calendar engine against.
+///
+/// The choice is made at construction / configure() time; there is no
+/// mid-stream migration.
+enum class EventQueueImpl : std::uint8_t { kCalendar, kHeap };
+
+/// The single source of future wake-up instants for the event-driven
+/// engine. Replaces the per-step linear scans over ports, slaves and
+/// per-slave completion lists that the pre-calendar engine (retained as
+/// ReferenceEngine) performs in its next_wakeup().
+///
+/// Contract (all the engine relies on, and all the two implementations
+/// promise): pop() consumes entries in nondecreasing time order, top() is
+/// an entry of minimum time, and nothing is ever lost or duplicated. Ties
+/// on time may surface in any implementation-specific order — only the
+/// minimum *instant* is ever consumed, never the entry identity, which is
+/// what lets a calendar queue replace the heap without changing a byte of
+/// engine behavior (tests/test_event_queue.cpp fuzzes exactly this
+/// contract; tests/test_engine_diff.cpp proves engine-level identity).
 ///
 /// Deletion is lazy: consumers pop entries that their own state proves
-/// stale (in the past, or generation-superseded). Ties on time may pop in
-/// any order — only the minimum *instant* is ever consumed, never the entry
-/// identity.
+/// stale (in the past, or generation-superseded).
+///
+/// Times must be non-negative and finite (simulation instants); push
+/// throws std::invalid_argument otherwise.
 class EventQueue {
  public:
-  void push(Time time, EventKind kind, std::uint32_t gen = 0) {
-    heap_.push_back(Event{time, kind, gen});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-  }
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kCalendar);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Re-selects the implementation and drops every entry (allocations are
+  /// kept, so a reused engine stops paying per-cell growth in grid sweeps).
+  void configure(EventQueueImpl impl);
+  EventQueueImpl impl() const { return impl_; }
 
-  /// Earliest entry; undefined when empty().
-  const Event& top() const { return heap_.front(); }
+  void push(Time time, EventKind kind, std::uint32_t gen = 0);
 
-  void pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// An entry of earliest time; undefined when empty().
+  const Event& top() const;
+
+  void pop();
 
   /// Drops every entry but keeps the allocation, so a reused engine stops
-  /// paying per-cell heap growth in grid sweeps.
-  void clear() { heap_.clear(); }
+  /// paying per-cell heap/bucket growth in grid sweeps.
+  void clear();
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time > b.time;
-    }
-  };
+  // --- calendar machinery ---------------------------------------------------
+  std::size_t bucket_of(Time t) const;
+  /// Locates the minimum entry (bucket index cached; the minimum of a
+  /// bucket is always its back, buckets being sorted descending by time).
+  void find_min() const;
+  void insert_calendar(const Event& e);
+  /// Rebuilds the bucket array for the current size: new bucket count and a
+  /// width estimated from the gaps of the earliest entries (the classic
+  /// calendar-queue sizing rule).
+  void resize_calendar(std::size_t nbuckets);
 
+  EventQueueImpl impl_;
+  std::size_t size_ = 0;
+
+  // Heap storage (impl_ == kHeap).
   std::vector<Event> heap_;
+
+  // Calendar storage (impl_ == kCalendar). Each bucket is sorted by time
+  // descending, so its minimum is back() and pop is O(1) once located.
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t nbuckets_ = 0;   ///< always a power of two
+  std::size_t bucket_mask_ = 0;
+  double width_ = 1.0;         ///< seconds of simulated time per bucket
+  /// Lower bound on every stored entry's time: raised to each popped
+  /// minimum, lowered by an out-of-order push. find_min starts its
+  /// year-window scan here, which is what makes successive pops amortized
+  /// O(1) — the scan position only moves forward with the popped times.
+  double floor_time_ = 0.0;
+  /// Cached location of the minimum entry (valid when cmin_bucket_ is not
+  /// npos): maintained across pushes, invalidated by pop. Mutable so the
+  /// const top() can lazily re-locate after a pop.
+  mutable std::size_t cmin_bucket_ = kNpos;
+  std::vector<Event> scratch_;  ///< resize_calendar's flatten buffer
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinBuckets = 16;
 };
 
 }  // namespace msol::core

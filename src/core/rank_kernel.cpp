@@ -1,0 +1,95 @@
+#include "core/rank_kernel.hpp"
+
+#include <limits>
+
+namespace msol::core {
+
+namespace {
+
+/// std::max(a, b) spelled so the dependency chain is explicit; identical
+/// result (ties pick `a`, like std::max picks its first argument).
+inline Time tmax(Time a, Time b) { return a < b ? b : a; }
+
+}  // namespace
+
+void completion_batch(const SlaveStateView& s, Time now, Time send_start,
+                      double comm_factor, double comp_factor, Time* out) {
+  const int m = s.m;
+  if (s.online == nullptr && s.speed == nullptr) {
+    // Static platform: no branches in the loop body, dense loads only —
+    // this is the form the compiler can vectorize.
+    for (int j = 0; j < m; ++j) {
+      const Time send_end = send_start + s.comm[j] * comm_factor;
+      const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+      out[j] = comp_start + s.comp[j] * comp_factor;
+    }
+    return;
+  }
+  const Time inf = std::numeric_limits<Time>::infinity();
+  for (int j = 0; j < m; ++j) {
+    if (s.online != nullptr && s.online[j] == 0) {
+      out[j] = inf;
+      continue;
+    }
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    Time compute = s.comp[j] * comp_factor;
+    if (s.speed != nullptr) compute /= s.speed[j];
+    out[j] = comp_start + compute;
+  }
+}
+
+void completion_gather(const SlaveStateView& s, Time now, Time send_start,
+                       double comm_factor, double comp_factor,
+                       const SlaveId* ids, int n, Time* out) {
+  const Time inf = std::numeric_limits<Time>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const SlaveId j = ids[i];
+    if (s.online != nullptr && s.online[j] == 0) {
+      out[i] = inf;
+      continue;
+    }
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    Time compute = s.comp[j] * comp_factor;
+    if (s.speed != nullptr) compute /= s.speed[j];
+    out[i] = comp_start + compute;
+  }
+}
+
+SlaveId rank_best_completion(const SlaveStateView& s, Time now,
+                             Time send_start, double comm_factor,
+                             double comp_factor) {
+  const int m = s.m;
+  SlaveId best = -1;
+  Time best_completion = 0.0;
+  if (s.online == nullptr && s.speed == nullptr) {
+    for (int j = 0; j < m; ++j) {
+      const Time send_end = send_start + s.comm[j] * comm_factor;
+      const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+      const Time completion = comp_start + s.comp[j] * comp_factor;
+      if (best < 0 || completion < best_completion - kTimeEps) {
+        best = j;
+        best_completion = completion;
+      }
+    }
+    return best;
+  }
+  for (int j = 0; j < m; ++j) {
+    // Offline slaves are skipped, not scored infinity: with every slave
+    // offline the answer is -1, which an infinity entry would steal.
+    if (s.online != nullptr && s.online[j] == 0) continue;
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    Time compute = s.comp[j] * comp_factor;
+    if (s.speed != nullptr) compute /= s.speed[j];
+    const Time completion = comp_start + compute;
+    if (best < 0 || completion < best_completion - kTimeEps) {
+      best = j;
+      best_completion = completion;
+    }
+  }
+  return best;
+}
+
+}  // namespace msol::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace msol::core {
+
+/// Structure-of-arrays snapshot of the per-slave state a completion probe
+/// reads: one pointer per field into the owning engine's dense arrays, valid
+/// only for the duration of the call that handed it out (the next engine
+/// step may reallocate). `online`/`speed` are null on static platforms
+/// (everything online, unit speed) so the kernels take their branch-free
+/// fast path.
+///
+/// An empty() view means the engine cannot expose dense state (the frozen
+/// ReferenceEngine deliberately never does) and callers must fall back to
+/// the per-slave virtual probes — which is what keeps the differential
+/// harness honest: the same policy runs kernel-backed on OnePortEngine and
+/// probe-backed on ReferenceEngine, and the schedules must match
+/// bit-for-bit.
+struct SlaveStateView {
+  const Time* comm = nullptr;           ///< c_j (nominal port seconds)
+  const Time* comp = nullptr;           ///< p_j (nominal compute seconds)
+  const Time* ready = nullptr;          ///< raw busy-until (may lag now)
+  const std::uint8_t* online = nullptr; ///< null = every slave online
+  const double* speed = nullptr;        ///< null = unit speed everywhere
+  int m = 0;
+
+  bool empty() const { return comm == nullptr || m == 0; }
+};
+
+/// Batched form of EngineView::completion_if_assigned for one task against
+/// every slave: out[j] = completion of a hypothetical commitment to slave j
+/// (+infinity for offline slaves). `send_start` is the caller-hoisted
+/// max(now, port_free_at, release) — loop-invariant, so m probes share it.
+///
+/// The arithmetic is operation-for-operation the engine's scalar probe
+/// (same max() chains, same multiply-then-divide order), because the
+/// differential suite requires the fast path to be bit-identical to the
+/// virtual-probe path, not merely close.
+void completion_batch(const SlaveStateView& s, Time now, Time send_start,
+                      double comm_factor, double comp_factor, Time* out);
+
+/// Gather variant of completion_batch for a candidate *subset*: out[i] is
+/// the hypothetical completion on slave ids[i] (+infinity when offline).
+/// Candidate ids must be valid slave indices — the kernel indexes the dense
+/// arrays directly, exactly like the full-sweep form.
+void completion_gather(const SlaveStateView& s, Time now, Time send_start,
+                       double comm_factor, double comp_factor,
+                       const SlaveId* ids, int n, Time* out);
+
+/// Batched form of EngineView::best_completion_slave: the available slave
+/// minimizing the hypothetical completion, with list scheduling's exact
+/// tie-break (a later slave wins only when strictly better by more than
+/// kTimeEps); -1 when no slave is available.
+SlaveId rank_best_completion(const SlaveStateView& s, Time now,
+                             Time send_start, double comm_factor,
+                             double comp_factor);
+
+}  // namespace msol::core

@@ -22,10 +22,14 @@ Platform::Platform(std::vector<SlaveSpec> slaves) : slaves_(std::move(slaves)) {
   if (slaves_.empty()) {
     throw std::invalid_argument("Platform: needs at least one slave");
   }
+  comm_.reserve(slaves_.size());
+  comp_.reserve(slaves_.size());
   for (const SlaveSpec& s : slaves_) {
     if (!(s.comm > 0.0) || !(s.comp > 0.0)) {
       throw std::invalid_argument("Platform: c_j and p_j must be positive");
     }
+    comm_.push_back(s.comm);
+    comp_.push_back(s.comp);
   }
 }
 

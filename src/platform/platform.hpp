@@ -40,6 +40,13 @@ class Platform {
   const SlaveSpec& at(core::SlaveId j) const;
   const std::vector<SlaveSpec>& slaves() const { return slaves_; }
 
+  /// Contiguous per-field mirrors of the slave list (structure-of-arrays),
+  /// for the batched ranking kernel (core/rank_kernel.hpp): probing m slaves
+  /// walks two dense double arrays instead of striding through SlaveSpec
+  /// pairs. Built once at construction — the platform is immutable.
+  const core::Time* comm_data() const { return comm_.data(); }
+  const core::Time* comp_data() const { return comp_.data(); }
+
   /// True when all c_j agree within tolerance (the paper's "cj = c").
   bool comm_homogeneous(double tol = 1e-12) const;
   /// True when all p_j agree within tolerance (the paper's "pj = p").
@@ -78,6 +85,8 @@ class Platform {
 
  private:
   std::vector<SlaveSpec> slaves_;
+  std::vector<core::Time> comm_;  ///< SoA mirror of slaves_[j].comm
+  std::vector<core::Time> comp_;  ///< SoA mirror of slaves_[j].comp
 };
 
 }  // namespace msol::platform

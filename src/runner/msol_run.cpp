@@ -49,6 +49,8 @@ constexpr const char* kUsage =
     "       msol_run --list-algorithms\n"
     "\n"
     "  --threads N       worker threads (default 1; 0 = all hardware threads)\n"
+    "  --window N        cap completed-but-unemitted cells in memory (0 =\n"
+    "                    unbounded); output stays byte-identical\n"
     "  --csv FILE        write one CSV row per (cell, algorithm); '-' = stdout\n"
     "  --jsonl FILE      write one JSON object per line; '-' = stdout\n"
     "  --shards K        split the grid across K independent runs\n"
@@ -74,13 +76,14 @@ constexpr const char* kUsage =
 
 const std::set<std::string> kValueKeys = {
     "threads", "csv",     "jsonl",      "shards",   "shard-index", "manifest",
-    "classes", "slaves",  "tasks",      "iterations", "restarts",  "seed"};
+    "classes", "slaves",  "tasks",      "iterations", "restarts",  "seed",
+    "window"};
 const std::set<std::string> kKnownKeys = {
     "threads", "csv",        "jsonl",      "shards", "shard-index",
     "manifest", "resume",    "dry-run",    "print-grid", "quiet",
     "help",    "list-algorithms",
     "search",  "classes",    "slaves",     "tasks",  "iterations",
-    "restarts", "seed"};
+    "restarts", "seed",      "window"};
 
 int run_merge(const msol::util::Cli& cli) {
   using namespace msol;
@@ -289,6 +292,9 @@ int main(int argc, char** argv) {
 
     runner::RunnerOptions runner_options;
     runner_options.threads = static_cast<int>(cli.get_int("threads", 1));
+    const long long window = cli.get_int("window", 0);
+    if (window < 0) throw std::runtime_error("--window must be >= 0");
+    runner_options.window = static_cast<std::size_t>(window);
     if (!quiet) {
       runner_options.progress = [&](std::size_t done, std::size_t total) {
         std::cerr << "\r" << grid.name << ": " << done << "/" << total

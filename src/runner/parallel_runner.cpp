@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,7 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
   std::atomic<std::size_t> next_cell{0};
   std::atomic<bool> abort{false};
   std::mutex emit_mutex;  // guards pending, next_emit, sinks, progress
+  std::condition_variable emit_cv;  // signaled when next_emit advances
   std::size_t next_emit = 0;
   std::size_t completed = 0;
   std::size_t records = 0;
@@ -104,6 +106,7 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
       }
       ++next_emit;
     }
+    emit_cv.notify_all();  // windowed workers gate on next_emit
   };
 
   const auto worker = [&]() {
@@ -118,6 +121,18 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
           if (options_.progress) options_.progress(completed, total);
           continue;
         }
+        if (options_.window > 0) {
+          // Bounded run-ahead: park until this cell is within the window of
+          // the emission cursor. Cells are claimed in index order, so the
+          // worker holding the cursor's own cell always satisfies the
+          // predicate immediately — no circular wait is possible.
+          std::unique_lock<std::mutex> lock(emit_mutex);
+          emit_cv.wait(lock, [&] {
+            return abort.load(std::memory_order_relaxed) ||
+                   i < next_emit + options_.window;
+          });
+          if (abort.load(std::memory_order_relaxed)) break;
+        }
         auto result = std::make_unique<experiments::CampaignResult>(
             experiments::run_campaign(cells[i].config));
 
@@ -130,6 +145,7 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
         std::lock_guard<std::mutex> lock(emit_mutex);
         if (!first_error) first_error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);
+        emit_cv.notify_all();  // release any window-parked workers
       }
     }
   };

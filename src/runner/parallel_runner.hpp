@@ -22,6 +22,16 @@ struct RunnerOptions {
   /// the resume manifest — see checkpoint.hpp). The emission cursor passes
   /// over them so the remaining cells still stream in ascending order.
   std::unordered_set<std::size_t> skip;
+  /// Streaming window: maximum number of cells any worker may run ahead of
+  /// the emission cursor (0 = unbounded, the old behavior). With a window,
+  /// at most `window` completed-but-unemitted CampaignResults are ever held
+  /// in memory, so RSS stays bounded when cells emit huge result sets —
+  /// workers about to run a far-ahead cell block until the cursor catches
+  /// up. Cells are claimed in index order, so the front cell's worker never
+  /// waits and any window >= 1 is deadlock-free. Output is byte-identical
+  /// to an unwindowed run (the emission order was already deterministic);
+  /// only the worker overlap changes.
+  std::size_t window = 0;
 };
 
 /// Outcome of one grid run.

@@ -21,6 +21,7 @@
 #include "core/engine.hpp"
 #include "core/reference_engine.hpp"
 #include "core/schedule_io.hpp"
+#include "platform/availability.hpp"
 #include "platform/generator.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +81,16 @@ const std::vector<GoldenCase>& golden_cases() {
        "RR", 20, 1, false, "drift"},
       {"lsk2_churn_port2", PlatformClass::kFullyHeterogeneous, 4, 24,
        "uniform", 30, 114, "LS-K2", 20, 2, true, "churn-mixed"},
+      // Mid-scale fleet fixtures (PR 7): 256 slaves, bursty arrivals, drawn
+      // churn profiles on every slave. Large enough that the calendar
+      // queue's bucket resizing and the SoA ranking kernel are genuinely
+      // exercised on the golden path, small enough to stay reviewable.
+      {"ls_fleet256_churn", PlatformClass::kFullyHeterogeneous, 256, 31,
+       "bursty-fleet", 1500, 131, "LS", 20, 1, false, "churn-generated"},
+      {"srpt_fleet256_churn", PlatformClass::kFullyHeterogeneous, 256, 32,
+       "bursty-fleet", 1200, 132, "SRPT", 20, 1, false, "churn-generated"},
+      {"rr_fleet256_churn", PlatformClass::kCommHomogeneous, 256, 33,
+       "bursty-fleet", 1000, 133, "RR", 20, 1, false, "churn-generated"},
   };
   return cases;
 }
@@ -96,6 +107,11 @@ Workload make_workload(const GoldenCase& c) {
   if (c.workload == "pareto") {
     return Workload::poisson(c.tasks, 2.0, rng).with_pareto_sizes(1.5, 20.0,
                                                                   rng);
+  }
+  if (c.workload == "bursty-fleet") {
+    // Large clumps of simultaneous releases: the calendar queue's dense
+    // regime, arriving fast enough to keep a 256-slave backlog.
+    return Workload::bursty(c.tasks, 32, 0.5, rng);
   }
   throw std::logic_error("golden: unknown workload '" + c.workload + "'");
 }
@@ -127,6 +143,14 @@ EngineOptions make_options(const GoldenCase& c) {
                                          {6.0, false, 1.0},
                                          {7.0, true, 0.8}});
       profiles[1] = AvailabilityProfile({{3.0, true, 0.5}, {8.0, true, 1.2}});
+    } else if (c.avail == "churn-generated") {
+      // Fleet fixture: one drawn churn profile per slave, seeded off the
+      // platform seed so the fixture is pinned without hand-writing 256
+      // span lists.
+      util::Rng arng(c.platform_seed ^ 0x5eed5eedULL);
+      profiles = platform::generate_availability(
+          platform::AvailabilityModel::kChurn, c.slaves, /*mtbf=*/25.0,
+          /*outage_frac=*/0.1, /*horizon=*/120.0, arng);
     } else {
       throw std::logic_error("golden: unknown avail fixture '" + c.avail +
                              "'");

@@ -210,11 +210,13 @@ TEST(GridFormat, SerializeRejectsUnrepresentableNames) {
 
 // ---------------------------------------------------------- determinism ----
 
-std::string run_to_csv(const ScenarioGrid& grid, int threads) {
+std::string run_to_csv(const ScenarioGrid& grid, int threads,
+                       std::size_t window = 0) {
   std::ostringstream out;
   CsvSink csv(out);
   RunnerOptions options;
   options.threads = threads;
+  options.window = window;
   ParallelRunner runner(options);
   runner.run(grid, {&csv});
   return out.str();
@@ -228,6 +230,22 @@ TEST(ParallelRunner, CsvBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, four);
   EXPECT_EQ(one, eight);
   EXPECT_FALSE(one.empty());
+}
+
+TEST(ParallelRunner, WindowedEmissionIsByteIdenticalAndCompletes) {
+  // The streaming window bounds run-ahead (RSS), never output: every
+  // (threads, window) combination — including window 1, the maximally
+  // serializing case, and window >= grid size, the no-op case — must
+  // produce the exact unwindowed bytes and must not deadlock.
+  const ScenarioGrid grid = small_grid();
+  const std::string unwindowed = run_to_csv(grid, 4);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::size_t window : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{3}, std::size_t{64}}) {
+      EXPECT_EQ(unwindowed, run_to_csv(grid, threads, window))
+          << "threads=" << threads << " window=" << window;
+    }
+  }
 }
 
 TEST(ParallelRunner, OneRecordPerCellAndAlgorithmInOrder) {
