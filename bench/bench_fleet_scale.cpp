@@ -15,6 +15,18 @@
 // rows, so rows run smallest-first and the last row's value is the run's
 // peak).
 //
+// Each row also micro-benches the ranking kernel at the row's slave count:
+// branch-free scalar completion_batch vs the explicitly vectorized
+// completion_batch_simd (probes/sec each) — measuring whether the
+// compiler's autovectorization of the scalar loop already matched the
+// hand-vectorized form (outputs are bit-identical either way).
+//
+// A second table covers the sharded engine (core/sharded_engine.hpp): the
+// same (platform, workload, policy) run as one 16384-slave one-port engine
+// (K=1) vs K one-port clusters under hash routing, at fleet sizes the
+// single engine's O(m) per-decision cost makes painful. Peak RSS is
+// recorded after every shard count.
+//
 // Modes:
 //   (no args)            full-scale table to stdout
 //   --scale=small        reduced rows (CI smoke on shared runners)
@@ -34,6 +46,8 @@
 
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
+#include "core/rank_kernel.hpp"
+#include "core/sharded_engine.hpp"
 #include "experiments/campaign.hpp"
 #include "platform/generator.hpp"
 #include "util/rng.hpp"
@@ -63,11 +77,34 @@ struct RowResult {
   Row row;
   double heap_eps = 0.0;      // events/sec, heap + scalar baseline
   double calendar_eps = 0.0;  // events/sec, calendar + kernel default
+  double kernel_scalar_mps = 0.0;  // completion_batch, million probes/sec
+  double kernel_simd_mps = 0.0;    // completion_batch_simd, same input
   double setup_sec = 0.0;     // platform + workload generation
   long rss_peak_kb = 0;       // process peak RSS after this row
   double speedup() const {
     return heap_eps > 0.0 ? calendar_eps / heap_eps : 0.0;
   }
+  double kernel_speedup() const {
+    return kernel_scalar_mps > 0.0 ? kernel_simd_mps / kernel_scalar_mps : 0.0;
+  }
+};
+
+/// One sharded-engine comparison: the same instance as a single K=1
+/// one-port engine vs `shards` one-port clusters (hash routing).
+struct ShardedRow {
+  const char* policy;
+  int slaves;
+  int tasks;
+  int shards;
+  int reps;
+};
+
+struct ShardedResult {
+  ShardedRow row;
+  double k1_eps = 0.0;       // events/sec, ShardedEngine with K=1
+  double sharded_eps = 0.0;  // events/sec, ShardedEngine with K=row.shards
+  long rss_peak_kb = 0;      // process peak RSS after this shard count
+  double speedup() const { return k1_eps > 0.0 ? sharded_eps / k1_eps : 0.0; }
 };
 
 /// Best-of-reps throughput of one engine configuration. The scheduler is
@@ -87,6 +124,45 @@ double best_events_per_sec(const platform::Platform& plat,
       best = std::max(best, work.size() / elapsed.count());
   }
   return best;
+}
+
+/// Million completion probes per second over a static m-slave view —
+/// scalar completion_batch when `simd` is false, completion_batch_simd
+/// when true. Deterministic inputs; both forms produce bit-identical
+/// output (asserted by tests/test_rank_kernel_simd.cpp), so this measures
+/// throughput only.
+double kernel_probes_mps(int m, bool simd) {
+  util::Rng rng(1234);
+  std::vector<core::Time> comm(m), comp(m), ready(m), out(m);
+  for (int j = 0; j < m; ++j) {
+    comm[j] = rng.uniform(0.1, 10.0);
+    comp[j] = rng.uniform(1.0, 100.0);
+    ready[j] = rng.uniform(0.0, 50.0);
+  }
+  core::SlaveStateView view;
+  view.comm = comm.data();
+  view.comp = comp.data();
+  view.ready = ready.data();
+  view.m = m;
+  // Repeat until the timed region is long enough to trust (~20 ms).
+  long long iters = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::duration<double> elapsed{0.0};
+  do {
+    for (int r = 0; r < 64; ++r) {
+      if (simd) {
+        core::completion_batch_simd(view, 25.0, 30.0, 1.0, 1.0, out.data());
+      } else {
+        core::completion_batch(view, 25.0, 30.0, 1.0, 1.0, out.data());
+      }
+      g_sink = out[m - 1];
+      ++iters;
+    }
+    elapsed = std::chrono::steady_clock::now() - start;
+  } while (elapsed.count() < 0.02);
+  return elapsed.count() > 0.0
+             ? iters * static_cast<double>(m) / elapsed.count() / 1e6
+             : 0.0;
 }
 
 RowResult run_row(const Row& row) {
@@ -113,6 +189,52 @@ RowResult run_row(const Row& row) {
   out.calendar_eps =
       best_events_per_sec(plat, work, row.policy, fleet, row.reps);
 
+  out.kernel_scalar_mps = kernel_probes_mps(row.slaves, /*simd=*/false);
+  out.kernel_simd_mps = kernel_probes_mps(row.slaves, /*simd=*/true);
+
+  out.rss_peak_kb = peak_rss_kb();
+  return out;
+}
+
+/// Best-of-reps throughput of a ShardedEngine run (construction + load +
+/// run inside the timed region, matching best_events_per_sec which times
+/// simulate() — itself engine construction + run).
+double best_sharded_events_per_sec(const platform::Platform& plat,
+                                   const core::Workload& work,
+                                   const char* policy, int shards, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    core::ShardedEngineOptions options;
+    options.shards = shards;  // routing: default hash
+    const auto start = std::chrono::steady_clock::now();
+    core::ShardedEngine engine(
+        plat, [&] { return algorithms::make_scheduler(policy); },
+        std::move(options));
+    engine.load(work);
+    engine.run_to_completion();
+    g_sink = engine.schedule().makespan();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > 0.0)
+      best = std::max(best, work.size() / elapsed.count());
+  }
+  return best;
+}
+
+ShardedResult run_sharded_row(const ShardedRow& row) {
+  ShardedResult out;
+  out.row = row;
+  util::Rng prng(42);
+  const platform::Platform plat = platform::PlatformGenerator().generate(
+      platform::PlatformClass::kFullyHeterogeneous, row.slaves, prng);
+  util::Rng wrng(7);
+  const double rate = 0.9 * experiments::max_throughput(plat);
+  const core::Workload work = core::Workload::poisson(row.tasks, rate, wrng);
+
+  out.k1_eps =
+      best_sharded_events_per_sec(plat, work, row.policy, 1, row.reps);
+  out.sharded_eps = best_sharded_events_per_sec(plat, work, row.policy,
+                                                row.shards, row.reps);
   out.rss_peak_kb = peak_rss_kb();
   return out;
 }
@@ -130,15 +252,31 @@ std::vector<Row> rows_for_scale(bool small) {
           {"LS", 4096, 100000, 1}};
 }
 
+std::vector<ShardedRow> sharded_rows_for_scale(bool small) {
+  if (small) {
+    // CI smoke: exercises the sharded path and its JSON keys in seconds.
+    return {{"LS", 256, 8000, 4, 2}};
+  }
+  // 16384 slaves is past where the single engine's O(m) per-decision cost
+  // dominates; rows ascend in shard count so rss_peak_kb stays the
+  // monotone per-shard-count peak.
+  return {{"LS", 16384, 60000, 4, 1},
+          {"LS", 16384, 60000, 16, 1},
+          {"RR", 16384, 60000, 16, 1}};
+}
+
 std::string fmt(double v) {
   std::ostringstream os;
   os << v;
   return os.str();
 }
 
-std::string to_json(const std::vector<RowResult>& results, bool small) {
+std::string to_json(const std::vector<RowResult>& results,
+                    const std::vector<ShardedResult>& sharded, bool small) {
   std::string json = "{\"bench\":\"fleet_scale\",\"unit\":\"events/sec\"";
   json += ",\"scale\":\"" + std::string(small ? "small" : "full") + "\"";
+  json += ",\"simd_available\":";
+  json += core::rank_kernel_simd_available() ? "true" : "false";
   json += ",\"cases\":[";
   bool first = true;
   for (const RowResult& r : results) {
@@ -150,7 +288,25 @@ std::string to_json(const std::vector<RowResult>& results, bool small) {
     json += ",\"events_per_sec_heap\":" + fmt(r.heap_eps);
     json += ",\"events_per_sec_calendar\":" + fmt(r.calendar_eps);
     json += ",\"speedup\":" + fmt(r.speedup());
+    json += ",\"kernel_scalar_mprobes\":" + fmt(r.kernel_scalar_mps);
+    json += ",\"kernel_simd_mprobes\":" + fmt(r.kernel_simd_mps);
+    json += ",\"kernel_simd_speedup\":" + fmt(r.kernel_speedup());
     json += ",\"setup_sec\":" + fmt(r.setup_sec);
+    json += ",\"rss_peak_kb\":" + std::to_string(r.rss_peak_kb) + "}";
+  }
+  json += "],\"sharded\":[";
+  first = true;
+  for (const ShardedResult& r : sharded) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"policy\":\"" + std::string(r.row.policy) + "\"";
+    json += ",\"slaves\":" + std::to_string(r.row.slaves);
+    json += ",\"tasks\":" + std::to_string(r.row.tasks);
+    json += ",\"shards\":" + std::to_string(r.row.shards);
+    json += ",\"routing\":\"hash\"";
+    json += ",\"events_per_sec_k1\":" + fmt(r.k1_eps);
+    json += ",\"events_per_sec_sharded\":" + fmt(r.sharded_eps);
+    json += ",\"sharded_speedup\":" + fmt(r.speedup());
     json += ",\"rss_peak_kb\":" + std::to_string(r.rss_peak_kb) + "}";
   }
   json += "]}";
@@ -167,6 +323,11 @@ const char* const kSchemaKeys[] = {
     "\"tasks\":",                "\"events_per_sec_heap\":",
     "\"events_per_sec_calendar\":", "\"speedup\":",
     "\"setup_sec\":",            "\"rss_peak_kb\":",
+    "\"simd_available\":",       "\"kernel_scalar_mprobes\":",
+    "\"kernel_simd_mprobes\":",  "\"kernel_simd_speedup\":",
+    "\"sharded\":",              "\"shards\":",
+    "\"routing\":",              "\"events_per_sec_k1\":",
+    "\"events_per_sec_sharded\":", "\"sharded_speedup\":",
 };
 
 int check_schema(const std::string& path) {
@@ -220,14 +381,31 @@ int main(int argc, char** argv) {
     RowResult r = run_row(row);
     std::cout << r.row.policy << " m=" << r.row.slaves << " n=" << r.row.tasks
               << ": heap " << r.heap_eps << " ev/s, calendar "
-              << r.calendar_eps << " ev/s (x" << r.speedup() << "), setup "
+              << r.calendar_eps << " ev/s (x" << r.speedup() << "), kernel "
+              << r.kernel_scalar_mps << " -> " << r.kernel_simd_mps
+              << " Mprobe/s (x" << r.kernel_speedup() << "), setup "
               << r.setup_sec << " s, peak RSS " << r.rss_peak_kb << " kb\n";
     results.push_back(r);
   }
 
+  std::cout << "simd kernel: "
+            << (core::rank_kernel_simd_available() ? "vectorized"
+                                                   : "scalar fallback")
+            << "\n";
+
+  std::vector<ShardedResult> sharded;
+  for (const ShardedRow& row : sharded_rows_for_scale(small)) {
+    ShardedResult r = run_sharded_row(row);
+    std::cout << r.row.policy << " m=" << r.row.slaves << " n=" << r.row.tasks
+              << " K=" << r.row.shards << ": single " << r.k1_eps
+              << " ev/s, sharded " << r.sharded_eps << " ev/s (x"
+              << r.speedup() << "), peak RSS " << r.rss_peak_kb << " kb\n";
+    sharded.push_back(r);
+  }
+
   if (json) {
     std::ofstream out(json_path);
-    out << to_json(results, small) << "\n";
+    out << to_json(results, sharded, small) << "\n";
     if (!out) {
       std::cerr << "bench_fleet_scale: cannot write " << json_path << "\n";
       return 1;

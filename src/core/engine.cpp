@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -42,10 +43,11 @@ void OnePortEngine::reset(platform::Platform platform,
   task_slave_.clear();
   release_order_.clear();
   next_release_idx_ = 0;
-  pending_next_.clear();
-  pending_prev_.clear();
-  in_pending_.clear();
-  pending_head_ = pending_tail_ = -1;
+  pending_slots_.clear();
+  pending_slot_of_.clear();
+  pending_bucket_live_.clear();
+  pending_begin_ = 0;
+  pending_dead_ = 0;
   pending_count_ = 0;
   port_busy_until_.clear();
   if (options_.port_capacity > 0) {
@@ -85,6 +87,13 @@ void OnePortEngine::reset(platform::Platform platform,
   for (std::vector<TaskId>& doomed : doomed_tasks_) doomed.clear();
   doomed_partial_work_.assign(m, 0.0);
   disruption_ = DisruptionStats{};
+  lazy_avail_ = options_.lazy_availability.enabled();
+  avail_cursors_.clear();
+  if (lazy_avail_ && !options_.availability.empty()) {
+    throw std::invalid_argument(
+        "OnePortEngine: availability and lazy_availability are mutually "
+        "exclusive");
+  }
   if (!options_.availability.empty()) {
     if (options_.availability.size() != m) {
       throw std::invalid_argument(
@@ -114,6 +123,32 @@ void OnePortEngine::reset(platform::Platform platform,
         next_avail_time_ = std::min(next_avail_time_, spans[i].begin);
       }
     }
+  } else if (lazy_avail_) {
+    platform::validate(options_.lazy_availability);
+    avail_cursors_.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      avail_cursors_.emplace_back(options_.lazy_availability,
+                                  static_cast<int>(j));
+      if (!avail_cursors_[j].trivial()) avail_enabled_ = true;
+    }
+    if (avail_enabled_) {
+      for (std::size_t j = 0; j < m; ++j) {
+        platform::AvailabilityCursor& cur = avail_cursors_[j];
+        while (std::isfinite(cur.next_begin()) &&
+               cur.next_begin() <= kTimeEps) {
+          const platform::AvailabilitySpan span = cur.advance();
+          slave_online_[j] = span.online ? 1 : 0;
+          slave_speed_[j] = span.speed;
+        }
+        const Time nb = cur.next_begin();
+        if (std::isfinite(nb)) {
+          events_.push(nb, EventKind::kAvailability);
+          next_avail_time_ = std::min(next_avail_time_, nb);
+        }
+      }
+    } else {
+      lazy_avail_ = false;  // every cursor trivial: closed-form path
+    }
   }
 }
 
@@ -141,9 +176,7 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
   task_released_.push_back(0);
   task_committed_.push_back(0);
   task_slave_.push_back(-1);
-  pending_next_.push_back(-1);
-  pending_prev_.push_back(-1);
-  in_pending_.push_back(0);
+  pending_slot_of_.push_back(-1);
 
   // Keep the unprocessed suffix of release_order_ sorted by release time;
   // equal releases keep injection order so adversary task numbering is stable.
@@ -158,37 +191,72 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
   return id;
 }
 
+namespace {
+/// Slots per live-count bucket; a power of two so slot -> bucket is a shift.
+constexpr std::size_t kPendingBucketShift = 6;  // 64 slots
+}  // namespace
+
 void OnePortEngine::pending_push_back(TaskId id) {
-  const std::size_t i = static_cast<std::size_t>(id);
-  pending_prev_[i] = pending_tail_;
-  pending_next_[i] = -1;
-  if (pending_tail_ >= 0) {
-    pending_next_[static_cast<std::size_t>(pending_tail_)] = id;
-  } else {
-    pending_head_ = id;
+  const std::size_t slot = pending_slots_.size();
+  pending_slots_.push_back(id);
+  pending_slot_of_[static_cast<std::size_t>(id)] =
+      static_cast<TaskId>(slot);
+  const std::size_t bucket = slot >> kPendingBucketShift;
+  if (bucket >= pending_bucket_live_.size()) {
+    pending_bucket_live_.resize(bucket + 1, 0);
   }
-  pending_tail_ = id;
-  in_pending_[i] = 1;
+  ++pending_bucket_live_[bucket];
   ++pending_count_;
 }
 
 void OnePortEngine::pending_erase(TaskId id) {
-  const std::size_t i = static_cast<std::size_t>(id);
-  const TaskId prev = pending_prev_[i];
-  const TaskId next = pending_next_[i];
-  if (prev >= 0) {
-    pending_next_[static_cast<std::size_t>(prev)] = next;
-  } else {
-    pending_head_ = next;
-  }
-  if (next >= 0) {
-    pending_prev_[static_cast<std::size_t>(next)] = prev;
-  } else {
-    pending_tail_ = prev;
-  }
-  pending_next_[i] = pending_prev_[i] = -1;
-  in_pending_[i] = 0;
+  const std::size_t slot =
+      static_cast<std::size_t>(pending_slot_of_[static_cast<std::size_t>(id)]);
+  pending_slots_[slot] = -1;
+  pending_slot_of_[static_cast<std::size_t>(id)] = -1;
+  --pending_bucket_live_[slot >> kPendingBucketShift];
   --pending_count_;
+  ++pending_dead_;
+  // Amortized compaction: once tombstones outnumber the live entries the
+  // vector is rebuilt live-only, so the slot array stays O(live) and every
+  // slot is tombstoned at most once between rebuilds.
+  if (pending_dead_ > pending_count_ && pending_dead_ >= 64) {
+    pending_compact();
+  }
+}
+
+void OnePortEngine::pending_advance_begin() const {
+  const std::size_t n = pending_slots_.size();
+  while (pending_begin_ < n) {
+    const std::size_t bucket = pending_begin_ >> kPendingBucketShift;
+    if (pending_bucket_live_[bucket] == 0) {
+      // Whole bucket dead: hop to the next bucket boundary in one step.
+      pending_begin_ = (bucket + 1) << kPendingBucketShift;
+      continue;
+    }
+    if (pending_slots_[pending_begin_] >= 0) return;
+    ++pending_begin_;
+  }
+}
+
+void OnePortEngine::pending_compact() {
+  std::size_t out = 0;
+  for (std::size_t slot = pending_begin_; slot < pending_slots_.size();
+       ++slot) {
+    const TaskId id = pending_slots_[slot];
+    if (id < 0) continue;
+    pending_slots_[out] = id;
+    pending_slot_of_[static_cast<std::size_t>(id)] =
+        static_cast<TaskId>(out);
+    ++out;
+  }
+  pending_slots_.resize(out);
+  pending_bucket_live_.assign((out >> kPendingBucketShift) + 1, 0);
+  for (std::size_t slot = 0; slot < out; ++slot) {
+    ++pending_bucket_live_[slot >> kPendingBucketShift];
+  }
+  pending_begin_ = 0;
+  pending_dead_ = 0;
 }
 
 void OnePortEngine::process_releases() {
@@ -208,38 +276,59 @@ void OnePortEngine::process_releases() {
   }
 }
 
+void OnePortEngine::apply_avail_span(std::size_t j,
+                                     const platform::AvailabilitySpan& span) {
+  const bool was_online = slave_online_[j] != 0;
+  const double was_speed = slave_speed_[j];
+  slave_online_[j] = span.online ? 1 : 0;
+  slave_speed_[j] = span.speed;
+  if (options_.enable_trace) {
+    const SlaveId slave = static_cast<SlaveId>(j);
+    if (was_online && !span.online) {
+      trace_.record(TraceEvent{TraceEvent::Kind::kSlaveDown, span.begin,
+                               -1, slave, 0.0});
+    } else if (!was_online && span.online) {
+      trace_.record(TraceEvent{TraceEvent::Kind::kSlaveUp, span.begin, -1,
+                               slave, span.speed});
+    } else if (span.online && span.speed != was_speed) {
+      trace_.record(TraceEvent{TraceEvent::Kind::kSpeedShift, span.begin,
+                               -1, slave, span.speed});
+    }
+  }
+  if (was_online && !span.online) {
+    handle_offline(static_cast<SlaveId>(j), span.begin);
+  }
+}
+
 void OnePortEngine::process_avail_transitions() {
   // O(1) early-out on the overwhelmingly common iteration where nothing is
   // due; the per-slave sweep below runs only when a transition fires.
   if (!avail_enabled_ || next_avail_time_ > now_ + kTimeEps) return;
   next_avail_time_ = std::numeric_limits<Time>::infinity();
   const std::size_t m = static_cast<std::size_t>(platform_->size());
+  if (lazy_avail_) {
+    for (std::size_t j = 0; j < m; ++j) {
+      platform::AvailabilityCursor& cur = avail_cursors_[j];
+      bool advanced = false;
+      while (std::isfinite(cur.next_begin()) &&
+             cur.next_begin() <= now_ + kTimeEps) {
+        apply_avail_span(j, cur.advance());
+        advanced = true;
+      }
+      const Time nb = cur.next_begin();
+      if (std::isfinite(nb)) {
+        if (advanced) events_.push(nb, EventKind::kAvailability);
+        next_avail_time_ = std::min(next_avail_time_, nb);
+      }
+    }
+    return;
+  }
   for (std::size_t j = 0; j < m; ++j) {
     const auto& spans = options_.availability[j].spans();
     std::size_t& i = next_span_[j];
     bool advanced = false;
     while (i < spans.size() && spans[i].begin <= now_ + kTimeEps) {
-      const platform::AvailabilitySpan& span = spans[i];
-      const bool was_online = slave_online_[j] != 0;
-      const double was_speed = slave_speed_[j];
-      slave_online_[j] = span.online ? 1 : 0;
-      slave_speed_[j] = span.speed;
-      if (options_.enable_trace) {
-        const SlaveId slave = static_cast<SlaveId>(j);
-        if (was_online && !span.online) {
-          trace_.record(TraceEvent{TraceEvent::Kind::kSlaveDown, span.begin,
-                                   -1, slave, 0.0});
-        } else if (!was_online && span.online) {
-          trace_.record(TraceEvent{TraceEvent::Kind::kSlaveUp, span.begin, -1,
-                                   slave, span.speed});
-        } else if (span.online && span.speed != was_speed) {
-          trace_.record(TraceEvent{TraceEvent::Kind::kSpeedShift, span.begin,
-                                   -1, slave, span.speed});
-        }
-      }
-      if (was_online && !span.online) {
-        handle_offline(static_cast<SlaveId>(j), span.begin);
-      }
+      apply_avail_span(j, spans[i]);
       ++i;
       advanced = true;
     }
@@ -317,7 +406,7 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
         "skip unavailable slaves)");
   }
   if (task_id < 0 || task_id >= total_tasks() ||
-      !in_pending_[static_cast<std::size_t>(task_id)]) {
+      pending_slot_of_[static_cast<std::size_t>(task_id)] < 0) {
     throw std::logic_error(
         "OnePortEngine: scheduler chose a task that is not pending");
   }
@@ -349,7 +438,6 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
     slave_comp_ends_[js].push_back(rec.comp_end);
     events_.push(rec.comp_end, EventKind::kCompletion);
   } else {
-    const platform::AvailabilityProfile& profile = options_.availability[js];
     doomed = chain_doomed_[js] != 0;
     double partial_work = 0.0;
     if (!doomed) {
@@ -357,14 +445,18 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
       const double work = platform_->comp(slave) * spec.comp_factor *
                           slowdown_factor_at(options_.slowdowns, slave,
                                              exec_start);
-      const std::optional<Time> outage = profile.next_offline_after(now_);
+      const std::optional<Time> outage =
+          lazy_avail_ ? avail_cursors_[js].next_offline_after(now_)
+                      : options_.availability[js].next_offline_after(now_);
       if (outage && exec_start >= *outage) {
         doomed = true;  // still on the link (or queued) when the slave dies
       } else {
         const Time cut =
             outage ? *outage : std::numeric_limits<Time>::infinity();
         const platform::AvailabilityProfile::WorkResult run =
-            profile.run_work(exec_start, work, cut);
+            lazy_avail_ ? avail_cursors_[js].run_work(exec_start, work, cut)
+                        : options_.availability[js].run_work(exec_start, work,
+                                                             cut);
         if (run.completed) {
           rec.comp_start = exec_start;
           rec.comp_end = run.end;
@@ -544,18 +636,27 @@ int OnePortEngine::tasks_in_system(SlaveId j) const {
 }
 
 TaskId OnePortEngine::pending_front() const {
-  if (pending_head_ < 0) {
+  if (pending_count_ == 0) {
     throw std::logic_error("OnePortEngine: no pending task");
   }
-  return pending_head_;
+  pending_advance_begin();
+  return pending_slots_[pending_begin_];
 }
 
 std::vector<TaskId> OnePortEngine::pending_tasks() const {
   std::vector<TaskId> out;
   out.reserve(static_cast<std::size_t>(pending_count_));
-  for (TaskId id = pending_head_; id >= 0;
-       id = pending_next_[static_cast<std::size_t>(id)]) {
-    out.push_back(id);
+  pending_advance_begin();
+  const std::size_t n = pending_slots_.size();
+  for (std::size_t slot = pending_begin_; slot < n;) {
+    const std::size_t bucket = slot >> kPendingBucketShift;
+    if (pending_bucket_live_[bucket] == 0) {
+      slot = (bucket + 1) << kPendingBucketShift;  // skip the dead bucket
+      continue;
+    }
+    const TaskId id = pending_slots_[slot];
+    if (id >= 0) out.push_back(id);
+    ++slot;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "platform/availability.hpp"
+#include "platform/availability_stream.hpp"
 #include "platform/platform.hpp"
 
 namespace msol::core {
@@ -64,6 +65,15 @@ struct EngineOptions {
   /// bit-identical to ReferenceEngine. Non-empty must have one profile per
   /// slave. See the "time-varying availability" block comment below.
   std::vector<platform::AvailabilityProfile> availability;
+  /// On-demand availability: when `lazy_availability.model != kAlways` the
+  /// engine draws each slave's spans incrementally from an independent
+  /// per-slave stream (AvailabilityCursor) instead of materializing whole
+  /// profiles up front — O(window) memory per slave instead of
+  /// O(horizon/mtbf), which is what fleet-scale shards need. Semantics are
+  /// byte-identical to running with generate_availability_forked(spec, m)
+  /// materialized into `availability` (tests/test_availability_stream.cpp
+  /// pins this). Mutually exclusive with a non-empty `availability`.
+  platform::LazyAvailabilitySpec lazy_availability;
   /// Record a decision/event log readable via OnePortEngine::trace().
   bool enable_trace = false;
   /// Event-calendar implementation (see EventQueueChoice). Behavior is
@@ -106,10 +116,13 @@ struct DisruptionStats {
 /// known and consumed lazily, while releases keep their sorted cursor and
 /// port frees their capacity-bounded array. Advancing time thus costs O(1)
 /// amortized instead of the O(slaves * log tasks) scan the pre-calendar
-/// engine (retained verbatim as ReferenceEngine) performs at every step. The pending set is an intrusive doubly-linked list indexed
-/// by task id, making commit() O(1) where the reference engine pays an
-/// O(pending) find + erase. tests/test_engine_diff.cpp proves the two
-/// engines produce bit-identical schedules and traces.
+/// engine (retained verbatim as ReferenceEngine) performs at every step.
+/// The pending set is a bucketed FIFO slot index (dense slot vector with
+/// tombstones and per-64-slot live counts), making commit() O(1) where the
+/// reference engine pays an O(pending) find + erase, and letting bulk
+/// iteration (pending_tasks, the lookahead planners' feed) skip dead
+/// regions instead of chasing list pointers. tests/test_engine_diff.cpp
+/// proves the two engines produce bit-identical schedules and traces.
 ///
 /// The engine is reusable: reset() rebinds platform/scheduler/options while
 /// keeping every internal allocation, so grid sweeps that simulate millions
@@ -223,6 +236,11 @@ class OnePortEngine final : public EngineView {
   /// Offline transition of slave j at time t: re-queues every committed,
   /// uncompleted task of j and resets the slave's bookkeeping.
   void handle_offline(SlaveId j, Time t);
+  /// Applies one availability span to slave j's cached state: online/speed
+  /// update, trace events, and the offline flush. Shared between the
+  /// materialized-profile walk and the lazy-cursor walk so the two modes
+  /// cannot drift.
+  void apply_avail_span(std::size_t j, const platform::AvailabilitySpan& span);
   /// One decision round; returns true if an assignment was committed.
   bool try_decide();
   void commit(TaskId task, SlaveId slave);
@@ -231,9 +249,15 @@ class OnePortEngine final : public EngineView {
   /// stale calendar entries, hence non-const.
   std::optional<Time> next_wakeup();
 
-  /// O(1) pending-set maintenance (intrusive list over task ids).
+  /// O(1) amortized pending-set maintenance (bucketed slot index).
   void pending_push_back(TaskId id);
   void pending_erase(TaskId id);
+  /// Advances pending_begin_ past tombstones (whole dead buckets in one
+  /// step) so it lands on the oldest live slot; no-op when the set is empty.
+  void pending_advance_begin() const;
+  /// Rewrites pending_slots_ with the live ids only (FIFO order preserved);
+  /// called when tombstones outnumber live entries.
+  void pending_compact();
 
   std::optional<platform::Platform> platform_;
   OnlineScheduler* scheduler_ = nullptr;
@@ -252,14 +276,20 @@ class OnePortEngine final : public EngineView {
   std::size_t next_release_idx_ = 0;
 
   /// Pending = released, unassigned tasks in FIFO release order, stored as
-  /// an intrusive doubly-linked list threaded through per-task slots so
-  /// commit() unlinks in O(1) regardless of which pending task a policy
-  /// picks.
-  std::vector<TaskId> pending_next_;
-  std::vector<TaskId> pending_prev_;
-  std::vector<std::uint8_t> in_pending_;
-  TaskId pending_head_ = -1;
-  TaskId pending_tail_ = -1;
+  /// a dense slot vector with tombstones plus a per-64-slot live count:
+  /// push appends, erase tombstones in O(1) via the per-task slot index,
+  /// and front/iteration skip whole dead buckets in O(1) each — so
+  /// pending_tasks() (the plan:sljf*/meta-projection bulk path) costs
+  /// O(live + dead/64) instead of a pointer chase over an intrusive list.
+  /// Tombstones are compacted away once they outnumber the live entries,
+  /// keeping the vector O(live) amortized.
+  std::vector<TaskId> pending_slots_;     ///< FIFO slots; -1 = tombstone
+  std::vector<TaskId> pending_slot_of_;   ///< per task: its slot, or -1
+  std::vector<int> pending_bucket_live_;  ///< live slots per 64-slot bucket
+  /// First possibly-live slot; advanced lazily by pending_advance_begin()
+  /// (mutable: pending_front() is a const observable).
+  mutable std::size_t pending_begin_ = 0;
+  int pending_dead_ = 0;
   int pending_count_ = 0;
 
   std::vector<Time> port_busy_until_;  ///< size == port_capacity (1+)
@@ -281,6 +311,10 @@ class OnePortEngine final : public EngineView {
   /// process_avail_transitions() early-out in O(1) on the vast majority of
   /// event-loop iterations, where nothing is due.
   Time next_avail_time_ = 0.0;
+  /// Lazy mode (EngineOptions::lazy_availability): per-slave on-demand span
+  /// cursors replace the materialized next_span_ walk and profile queries.
+  bool lazy_avail_ = false;
+  std::vector<platform::AvailabilityCursor> avail_cursors_;
   std::vector<std::size_t> next_span_;      ///< per-slave next profile span
   std::vector<std::uint8_t> slave_online_;  ///< cached state at now()
   std::vector<double> slave_speed_;         ///< cached speed at now()

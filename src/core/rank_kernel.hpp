@@ -58,4 +58,23 @@ SlaveId rank_best_completion(const SlaveStateView& s, Time now,
                              Time send_start, double comm_factor,
                              double comp_factor);
 
+/// True when the explicitly vectorized kernel below will actually run:
+/// the build carries it (GCC/Clang vector extensions on x86-64, compiled
+/// for AVX2 via a function-level target attribute) AND the host CPU
+/// supports AVX2 (checked at runtime). False means completion_batch_simd
+/// is an alias for the scalar loop.
+bool rank_kernel_simd_available();
+
+/// Explicitly vectorized completion_batch for the static fast path (4
+/// doubles per lane group, unaligned loads, branch-free bit-select max).
+/// Every lane performs exactly the scalar probe's operation sequence —
+/// same multiplies, adds, and max selections, no FMA contraction, no
+/// reassociation — so the output is bit-identical to completion_batch
+/// (tests/test_rank_kernel_simd.cpp asserts memcmp equality; the
+/// bench_fleet_scale kernel columns measure whether the compiler's
+/// autovectorization of the scalar loop was already achieving this).
+/// Views with online/speed state delegate to the scalar form.
+void completion_batch_simd(const SlaveStateView& s, Time now, Time send_start,
+                           double comm_factor, double comp_factor, Time* out);
+
 }  // namespace msol::core

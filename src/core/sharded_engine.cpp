@@ -1,0 +1,226 @@
+#include "core/sharded_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace msol::core {
+
+std::string to_string(ShardRouting routing) {
+  switch (routing) {
+    case ShardRouting::kHash: return "hash";
+    case ShardRouting::kRoundRobin: return "round-robin";
+    case ShardRouting::kLeastLoaded: return "least-loaded";
+  }
+  return "unknown";
+}
+
+ShardRouting parse_shard_routing(const std::string& text) {
+  if (text == "hash") return ShardRouting::kHash;
+  if (text == "round-robin") return ShardRouting::kRoundRobin;
+  if (text == "least-loaded") return ShardRouting::kLeastLoaded;
+  throw std::invalid_argument(
+      "parse_shard_routing: unknown routing '" + text +
+      "' (expected hash, round-robin, or least-loaded)");
+}
+
+ShardedEngine::ShardedEngine(const platform::Platform& platform,
+                             const SchedulerFactory& factory,
+                             ShardedEngineOptions options)
+    : options_(std::move(options)), partition_(platform, options_.shards) {
+  if (options_.engine.lazy_availability.enabled()) {
+    throw std::invalid_argument(
+        "ShardedEngine: lazy_availability is not supported (its per-slave "
+        "streams are keyed by engine-local index; materialize with "
+        "generate_availability_forked instead)");
+  }
+  const int num = partition_.num_shards();
+  shard_options_.reserve(static_cast<std::size_t>(num));
+  schedulers_.reserve(static_cast<std::size_t>(num));
+  engines_.reserve(static_cast<std::size_t>(num));
+  shard_tasks_.resize(static_cast<std::size_t>(num));
+  shard_specs_.resize(static_cast<std::size_t>(num));
+  for (int k = 0; k < num; ++k) {
+    // Copy the global options wholesale so future EngineOptions fields flow
+    // through untouched, then re-express the two slave-addressed ones in
+    // shard-local terms. At K=1 both rewrites are the identity, which is
+    // half of the byte-identity guarantee (the other half is the identity
+    // partition).
+    EngineOptions opts = options_.engine;
+    opts.availability =
+        partition_.slice_availability(options_.engine.availability, k);
+    opts.slowdowns.clear();
+    for (const SlowdownWindow& w : options_.engine.slowdowns) {
+      if (w.slave < 0 || w.slave >= platform.size() ||
+          partition_.shard_of(w.slave) != k) {
+        continue;
+      }
+      SlowdownWindow local = w;
+      local.slave = partition_.local_id(w.slave);
+      opts.slowdowns.push_back(local);
+    }
+    shard_options_.push_back(opts);
+    schedulers_.push_back(factory());
+    if (schedulers_.back() == nullptr) {
+      throw std::invalid_argument(
+          "ShardedEngine: scheduler factory returned null");
+    }
+    schedulers_.back()->reset();
+    engines_.push_back(std::make_unique<OnePortEngine>(
+        partition_.shard_platform(k), *schedulers_.back(),
+        shard_options_.back()));
+  }
+}
+
+int ShardedEngine::route_static(std::size_t i) const {
+  const int num = num_shards();
+  if (num == 1) return 0;
+  switch (options_.routing) {
+    case ShardRouting::kHash:
+      return static_cast<int>(util::Rng::mix(static_cast<std::uint64_t>(i)) %
+                              static_cast<std::uint64_t>(num));
+    case ShardRouting::kRoundRobin:
+      return static_cast<int>(i % static_cast<std::size_t>(num));
+    case ShardRouting::kLeastLoaded:
+      break;  // routed by the epoch loop, never statically
+  }
+  return 0;
+}
+
+void ShardedEngine::assign_to_shard(int k, TaskId global) {
+  const std::size_t ks = static_cast<std::size_t>(k);
+  shard_tasks_[ks].push_back(global);
+  shard_specs_[ks].push_back(loaded_[static_cast<std::size_t>(global)]);
+  engines_[ks]->inject_task(loaded_[static_cast<std::size_t>(global)]);
+}
+
+void ShardedEngine::load(const Workload& workload) {
+  if (loaded_any_) {
+    throw std::logic_error("ShardedEngine: load() may be called only once");
+  }
+  loaded_any_ = true;
+  loaded_ = workload.tasks();
+  // Stateless routings are a pure function of the injection index, so the
+  // whole slice can be preloaded and each shard runs with full workload
+  // semantics (future releases included). Least-loaded must observe shard
+  // state at each release instant — run_to_completion's epoch loop routes.
+  if (options_.routing == ShardRouting::kLeastLoaded && num_shards() > 1) {
+    return;
+  }
+  for (std::size_t i = 0; i < loaded_.size(); ++i) {
+    assign_to_shard(route_static(i), static_cast<TaskId>(i));
+  }
+}
+
+void ShardedEngine::run_to_completion() {
+  if (ran_) {
+    throw std::logic_error(
+        "ShardedEngine: run_to_completion() may be called only once");
+  }
+  ran_ = true;
+  const int num = num_shards();
+  if (options_.routing == ShardRouting::kLeastLoaded && num > 1) {
+    // Lockstep epochs: advance every shard to the release instant, then
+    // route that instant's tasks (in injection order) by observed load.
+    // Sequential and state-deterministic, hence reproducible anywhere.
+    std::size_t i = 0;
+    while (i < loaded_.size()) {
+      const Time t = loaded_[i].release;
+      for (int k = 0; k < num; ++k) engines_[k]->run_until(t);
+      while (i < loaded_.size() && loaded_[i].release == t) {
+        int best = 0;
+        for (int k = 1; k < num; ++k) {
+          const OnePortEngine& e = shard_engine(k);
+          const OnePortEngine& b = shard_engine(best);
+          if (e.pending_count() < b.pending_count() ||
+              (e.pending_count() == b.pending_count() &&
+               e.port_free_at() < b.port_free_at() - kTimeEps)) {
+            best = k;
+          }
+        }
+        assign_to_shard(best, static_cast<TaskId>(i));
+        ++i;
+      }
+    }
+  }
+  for (int k = 0; k < num; ++k) engines_[k]->run_to_completion();
+  merge();
+}
+
+void ShardedEngine::merge() {
+  merged_schedule_.clear();
+  merged_trace_.clear();
+  merged_disruption_ = DisruptionStats{};
+  const int num = num_shards();
+
+  // Schedules: per-shard records are in commit order, so send_start is
+  // monotone within a shard and a K-way head merge (ties to the lower
+  // shard id) yields one globally send_start-sorted, byte-stable stream.
+  {
+    std::vector<std::size_t> pos(static_cast<std::size_t>(num), 0);
+    for (;;) {
+      int best = -1;
+      for (int k = 0; k < num; ++k) {
+        const auto& recs = shard_engine(k).schedule().records();
+        const std::size_t p = pos[static_cast<std::size_t>(k)];
+        if (p >= recs.size()) continue;
+        if (best < 0 ||
+            recs[p].send_start <
+                shard_engine(best).schedule().records()
+                    [pos[static_cast<std::size_t>(best)]].send_start) {
+          best = k;
+        }
+      }
+      if (best < 0) break;
+      const std::size_t bs = static_cast<std::size_t>(best);
+      TaskRecord rec = shard_engine(best).schedule().records()[pos[bs]++];
+      rec.task = shard_tasks_[bs][static_cast<std::size_t>(rec.task)];
+      rec.slave = partition_.global_id(best, rec.slave);
+      merged_schedule_.add(rec);
+    }
+  }
+
+  // Traces: a shard's event log is in commitment order, not time order, so
+  // the head merge keyed by event time is an interleaving that preserves
+  // each shard's internal order — the same discipline, and equally
+  // deterministic; at K=1 it is the identity.
+  {
+    std::vector<std::size_t> pos(static_cast<std::size_t>(num), 0);
+    for (;;) {
+      int best = -1;
+      for (int k = 0; k < num; ++k) {
+        const auto& evs = shard_engine(k).trace().events();
+        const std::size_t p = pos[static_cast<std::size_t>(k)];
+        if (p >= evs.size()) continue;
+        if (best < 0 ||
+            evs[p].time <
+                shard_engine(best).trace().events()
+                    [pos[static_cast<std::size_t>(best)]].time) {
+          best = k;
+        }
+      }
+      if (best < 0) break;
+      const std::size_t bs = static_cast<std::size_t>(best);
+      TraceEvent ev = shard_engine(best).trace().events()[pos[bs]++];
+      if (ev.task >= 0) {
+        ev.task = shard_tasks_[bs][static_cast<std::size_t>(ev.task)];
+      }
+      if (ev.slave >= 0) ev.slave = partition_.global_id(best, ev.slave);
+      merged_trace_.record(ev);
+    }
+  }
+
+  for (int k = 0; k < num; ++k) {
+    const DisruptionStats& d = shard_engine(k).disruption();
+    merged_disruption_.redispatches += d.redispatches;
+    merged_disruption_.disruptive_outages += d.disruptive_outages;
+    merged_disruption_.lost_work += d.lost_work;
+  }
+}
+
+Workload ShardedEngine::shard_workload(int k) const {
+  return Workload(shard_specs_[static_cast<std::size_t>(k)]);
+}
+
+}  // namespace msol::core

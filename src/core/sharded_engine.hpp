@@ -1,0 +1,161 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+#include "platform/partition.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::core {
+
+/// How a ShardedEngine routes released tasks to shards. All three are
+/// deterministic — a pure function of the task's injection index or of the
+/// shard states at the release instant — so a sharded run is reproducible
+/// at any worker count.
+enum class ShardRouting : std::uint8_t {
+  /// splitmix64(task index) % K: stateless, spreads any workload pattern.
+  kHash,
+  /// task index % K: stateless, exactly balanced counts.
+  kRoundRobin,
+  /// At each release instant, the shard with the fewest pending tasks
+  /// (ties: earlier master-port free time, then lower shard id). The only
+  /// routing that reads shard state, hence the only one that needs the
+  /// lockstep epoch loop.
+  kLeastLoaded,
+};
+
+std::string to_string(ShardRouting routing);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+ShardRouting parse_shard_routing(const std::string& text);
+
+/// Knobs for a ShardedEngine. `engine` holds the per-shard OnePortEngine
+/// options in GLOBAL terms: `availability` has one profile per global slave
+/// and `slowdowns` name global slave ids — the sharded engine slices and
+/// remaps both to each shard's local ids. `lazy_availability` is rejected
+/// (its per-slave streams are keyed by engine-local slave index, which
+/// sharding would silently re-key; materialize via
+/// generate_availability_forked instead).
+struct ShardedEngineOptions {
+  int shards = 1;
+  ShardRouting routing = ShardRouting::kHash;
+  EngineOptions engine;
+};
+
+/// One fresh scheduler instance per shard: schedulers are stateful (SRPT's
+/// wait bookkeeping, meta-policy detectors), so shards cannot share one.
+using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
+
+/// K independent one-port clusters simulating one fleet.
+///
+/// The platform is split by PlatformPartition (modulo striping, stable),
+/// each shard gets its own OnePortEngine + scheduler instance + master
+/// port, released tasks are routed to shards by a deterministic routing
+/// layer, and the per-shard schedules/traces are interleaved back into a
+/// single byte-stable global view (ids translated back to global task and
+/// slave numbering).
+///
+/// Execution is sequential over shards — determinism costs nothing, and the
+/// ParallelRunner already parallelizes across grid cells; the win is each
+/// shard's O(m/K) slave state and event calendar. Stateless routings (hash,
+/// round-robin) preload each shard's slice up front and run shards
+/// independently to completion; least-loaded advances all shards in
+/// lockstep release epochs (run_until each release instant, route by
+/// observed load, inject, repeat), which is reproducible because the shard
+/// states it reads are themselves deterministic.
+///
+/// Semantics vs the unsharded engine: K shards have K master ports and
+/// shard-local pending sets, so for K > 1 this simulates a *federation* of
+/// one-port clusters, not the paper's single-port model — schedules differ
+/// from K=1 by design. At K=1 the partition is the identity, routing is
+/// moot, and the sharded engine is byte-identical to OnePortEngine (golden
+/// + differential suites pin this).
+class ShardedEngine {
+ public:
+  /// Throws std::invalid_argument on shards < 1, shards > platform size,
+  /// or a lazy_availability spec in the options (see ShardedEngineOptions).
+  ShardedEngine(const platform::Platform& platform,
+                const SchedulerFactory& factory, ShardedEngineOptions options);
+
+  /// Loads the whole workload, routing each task to its shard (stateless
+  /// routings route immediately; least-loaded defers routing to
+  /// run_to_completion's epoch loop). Call once, before run_to_completion.
+  void load(const Workload& workload);
+
+  /// Runs every shard to completion and builds the merged global views.
+  void run_to_completion();
+
+  /// Merged schedule in global task/slave ids, interleaved by record
+  /// send_start (ties: lower shard id); valid after run_to_completion.
+  const Schedule& schedule() const { return merged_schedule_; }
+  /// Merged trace in global ids, interleaved by event time (ties: lower
+  /// shard id), preserving each shard's internal event order.
+  const Trace& trace() const { return merged_trace_; }
+  /// Disruption counters summed over shards.
+  const DisruptionStats& disruption() const { return merged_disruption_; }
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  const platform::PlatformPartition& partition() const { return partition_; }
+  OnePortEngine& shard_engine(int k) {
+    return *engines_[static_cast<std::size_t>(k)];
+  }
+  const OnePortEngine& shard_engine(int k) const {
+    return *engines_[static_cast<std::size_t>(k)];
+  }
+  OnlineScheduler& shard_scheduler(int k) {
+    return *schedulers_[static_cast<std::size_t>(k)];
+  }
+  const DisruptionStats& shard_disruption(int k) const {
+    return shard_engine(k).disruption();
+  }
+  /// The slice of the loaded workload shard k executed, in its local task
+  /// id order (valid after run_to_completion; per-shard validation uses it).
+  Workload shard_workload(int k) const;
+  /// The options shard k's engine ran with (availability sliced, slowdowns
+  /// remapped to local slave ids).
+  const EngineOptions& shard_options(int k) const {
+    return shard_options_[static_cast<std::size_t>(k)];
+  }
+  /// Global task id of shard k's local task `local`.
+  TaskId global_task(int k, TaskId local) const {
+    return shard_tasks_[static_cast<std::size_t>(k)]
+                       [static_cast<std::size_t>(local)];
+  }
+
+ private:
+  /// Stateless routing decision for global task index i; kLeastLoaded is
+  /// handled by the epoch loop instead.
+  int route_static(std::size_t i) const;
+  /// Injects global task `global` into shard k, recording the id mapping.
+  void assign_to_shard(int k, TaskId global);
+  /// Builds merged_schedule_ / merged_trace_ / merged_disruption_.
+  void merge();
+
+  ShardedEngineOptions options_;
+  platform::PlatformPartition partition_;
+  std::vector<EngineOptions> shard_options_;
+  std::vector<std::unique_ptr<OnlineScheduler>> schedulers_;
+  std::vector<std::unique_ptr<OnePortEngine>> engines_;
+
+  /// Global specs in injection order; kLeastLoaded routes from here.
+  std::vector<TaskSpec> loaded_;
+  bool loaded_any_ = false;
+  bool ran_ = false;
+  /// Per shard: local task id -> global task id, in injection order.
+  std::vector<std::vector<TaskId>> shard_tasks_;
+  /// Per shard: the specs injected, in local task id order.
+  std::vector<std::vector<TaskSpec>> shard_specs_;
+
+  Schedule merged_schedule_;
+  Trace merged_trace_;
+  DisruptionStats merged_disruption_;
+};
+
+}  // namespace msol::core

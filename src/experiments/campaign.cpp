@@ -9,6 +9,7 @@
 #include "algorithms/meta/meta_policy.hpp"
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "core/validator.hpp"
 #include "core/workload.hpp"
 #include "util/rng.hpp"
@@ -171,17 +172,49 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     std::map<std::string, core::Schedule> schedules;
     std::map<std::string, core::DisruptionStats> disruptions;
     for (const std::string& name : names) {
-      auto scheduler = algorithms::make_scheduler(name, config.lookahead);
+      core::Schedule schedule;
       core::DisruptionStats disruption;
-      core::Schedule schedule =
-          simulate(plat, workload, *scheduler, options, &disruption);
-      core::validate_or_throw(plat, workload, schedule, options);
+      double switches = 0.0;
+      if (config.engine_shards <= 1) {
+        auto scheduler = algorithms::make_scheduler(name, config.lookahead);
+        schedule = simulate(plat, workload, *scheduler, options, &disruption);
+        core::validate_or_throw(plat, workload, schedule, options);
+        const auto* meta = dynamic_cast<const algorithms::meta::MetaPolicy*>(
+            scheduler.get());
+        if (meta != nullptr) switches = static_cast<double>(meta->switches());
+      } else {
+        // Sharded fleet: K one-port clusters, one scheduler instance each.
+        // Every shard's schedule is validated against its own cluster's
+        // one-port model; the merged global schedule feeds the metrics.
+        core::ShardedEngineOptions sharded_options;
+        sharded_options.shards = config.engine_shards;
+        sharded_options.routing = core::parse_shard_routing(
+            config.shard_routing);
+        sharded_options.engine = options;
+        core::ShardedEngine sharded(
+            plat,
+            [&] { return algorithms::make_scheduler(name, config.lookahead); },
+            std::move(sharded_options));
+        sharded.load(workload);
+        sharded.run_to_completion();
+        for (int k = 0; k < sharded.num_shards(); ++k) {
+          core::validate_or_throw(sharded.partition().shard_platform(k),
+                                  sharded.shard_workload(k),
+                                  sharded.shard_engine(k).schedule(),
+                                  sharded.shard_options(k));
+          const auto* meta =
+              dynamic_cast<const algorithms::meta::MetaPolicy*>(
+                  &sharded.shard_scheduler(k));
+          if (meta != nullptr) {
+            switches += static_cast<double>(meta->switches());
+          }
+        }
+        schedule = sharded.schedule();
+        disruption = sharded.disruption();
+      }
       schedules.emplace(name, std::move(schedule));
       disruptions.emplace(name, disruption);
-      const auto* meta =
-          dynamic_cast<const algorithms::meta::MetaPolicy*>(scheduler.get());
-      raw[name].switches.push_back(
-          meta != nullptr ? static_cast<double>(meta->switches()) : 0.0);
+      raw[name].switches.push_back(switches);
     }
 
     const core::Schedule* srpt = nullptr;

@@ -67,6 +67,13 @@ struct CampaignConfig {
   double outage_frac = 0.1;
   int lookahead = 1000;    ///< SLJF/SLJFWC planned-task count K
   int port_capacity = 1;   ///< 1 = one-port; 0 = unbounded (ablation)
+  /// Engine sharding (core/sharded_engine.hpp): 1 runs the single
+  /// OnePortEngine exactly as before (byte-identical legacy path); K > 1
+  /// partitions the platform into K one-port clusters with `shard_routing`
+  /// ("hash", "round-robin", "least-loaded") deciding where each released
+  /// task lands. Requires engine_shards <= num_slaves.
+  int engine_shards = 1;
+  std::string shard_routing = "hash";
   std::vector<std::string> algorithms;  ///< empty = the paper's seven
   platform::GeneratorRanges ranges;     ///< paper defaults
 };

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "platform/availability.hpp"
+#include "util/rng.hpp"
+
+namespace msol::platform {
+
+/// Generation parameters for on-demand availability spans: the same model
+/// knobs generate_availability() takes, plus the seed the per-slave streams
+/// are counter-forked from. `model == kAlways` means "no time-varying
+/// availability" and is the inert default, so embedding this struct in
+/// EngineOptions costs legacy runs nothing.
+struct LazyAvailabilitySpec {
+  AvailabilityModel model = AvailabilityModel::kAlways;
+  double mtbf = 50.0;
+  double outage_frac = 0.1;
+  core::Time horizon = 1000.0;
+  std::uint64_t seed = 0;
+
+  bool enabled() const { return model != AvailabilityModel::kAlways; }
+};
+
+/// Throws std::invalid_argument on the same bad knobs
+/// generate_availability() rejects (non-positive mtbf/horizon, outage_frac
+/// outside [0, 0.9]); no-op for the kAlways model.
+void validate(const LazyAvailabilitySpec& spec);
+
+/// On-demand span source for ONE slave: replays exactly the span sequence
+/// generate_availability_forked() materializes for that slave, but holds
+/// only a bounded window — the most recently applied span plus whatever a
+/// forward query has generated ahead — instead of O(horizon/mtbf) spans up
+/// front. The engine drives it with the same three operations it performs
+/// on a materialized profile:
+///
+///   * next_begin()/advance()       the transition walk (process_avail_
+///                                  transitions' per-slave span cursor)
+///   * next_offline_after(t)        commit-time doom check
+///   * run_work(start, work, until) piecewise compute integration
+///
+/// Forward queries generate spans ahead as needed (for kChurn that is the
+/// next down/up pair; kDrift never goes offline and short-circuits) and the
+/// generated-ahead spans are retained until advance() consumes them, so the
+/// window size is bounded by the engine's lookahead distance, not the
+/// horizon. Queries must be anchored at or after the last applied span's
+/// neighborhood — the engine's monotone now() guarantees that.
+///
+/// A default-constructed cursor is the trivial always-online profile.
+class AvailabilityCursor {
+ public:
+  AvailabilityCursor() = default;
+  /// Lazy mode: slave `slave`'s stream of `spec`, independent of every
+  /// other slave's (counter-forked from spec.seed).
+  AvailabilityCursor(const LazyAvailabilitySpec& spec, int slave);
+
+  /// True when this slave's realization has no spans at all (static slave).
+  /// May generate the first span to find out.
+  bool trivial();
+
+  /// Begin of the next unapplied span, or +infinity when the realization is
+  /// exhausted (the final state persists forever).
+  core::Time next_begin();
+
+  /// Consumes the next span (next_begin() must be finite) and returns it.
+  AvailabilitySpan advance();
+
+  /// First instant strictly after `t` at which the slave transitions from
+  /// online to offline; nullopt when it never goes down again. Matches
+  /// AvailabilityProfile::next_offline_after on the full realization.
+  std::optional<core::Time> next_offline_after(core::Time t);
+
+  /// Advances `work` nominal-seconds of compute from `start`, honoring the
+  /// piecewise speed, stopping at `until` (exclusive) when unfinished.
+  /// Matches AvailabilityProfile::run_work operation-for-operation.
+  AvailabilityProfile::WorkResult run_work(core::Time start, double work,
+                                           core::Time until);
+
+ private:
+  /// Appends the next span (or span pair, for kChurn) to pending_; returns
+  /// false once the generator is exhausted.
+  bool generate();
+  /// Ensures pending_ holds at least `k` spans (or the generator is done).
+  bool ensure(std::size_t k);
+  /// Span `i` of the virtual sequence [last_ (if retained), pending_...],
+  /// generating on demand; nullptr once the realization is exhausted.
+  const AvailabilitySpan* span_at(std::size_t i);
+
+  // --- generated-but-unapplied spans, oldest first --------------------------
+  std::deque<AvailabilitySpan> pending_;
+  // --- most recently applied span (queries may anchor just before it) ------
+  bool has_last_ = false;
+  AvailabilitySpan last_{};
+  bool base_online_ = true;  ///< state before last_ (after pruned spans)
+  double base_speed_ = 1.0;
+
+  // --- generator state ------------------------------------------------------
+  bool lazy_ = false;
+  bool done_ = true;
+  bool generated_any_ = false;
+  AvailabilityModel model_ = AvailabilityModel::kAlways;
+  double up_mean_ = 0.0;
+  double down_mean_ = 0.0;
+  double mtbf_ = 0.0;
+  double outage_frac_ = 0.0;
+  core::Time horizon_ = 0.0;
+  core::Time t_ = 0.0;  ///< next event instant the generator will consider
+  util::Rng rng_{0};
+};
+
+/// Materializes the exact per-slave realizations the lazy cursors replay:
+/// slave j's spans come from the independent stream child_seed(j) of
+/// spec.seed. This deliberately differs from generate_availability(), whose
+/// single shared stream makes slave j's draws depend on how many draws
+/// slaves 0..j-1 consumed — a coupling an incremental generator cannot
+/// reproduce. tests/test_availability_stream.cpp pins lazy == materialized
+/// byte-for-byte through the engine.
+std::vector<AvailabilityProfile> generate_availability_forked(
+    const LazyAvailabilitySpec& spec, int num_slaves);
+
+}  // namespace msol::platform

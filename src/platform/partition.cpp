@@ -1,0 +1,57 @@
+#include "platform/partition.hpp"
+
+#include <stdexcept>
+
+namespace msol::platform {
+
+PlatformPartition::PlatformPartition(const Platform& platform, int num_shards)
+    : num_shards_(num_shards) {
+  const int m = platform.size();
+  if (num_shards <= 0) {
+    throw std::invalid_argument("PlatformPartition: num_shards must be > 0");
+  }
+  if (num_shards > m) {
+    throw std::invalid_argument(
+        "PlatformPartition: num_shards must be <= slave count (every shard "
+        "needs at least one slave)");
+  }
+  shard_slaves_.resize(static_cast<std::size_t>(num_shards));
+  shard_of_.resize(static_cast<std::size_t>(m));
+  local_id_.resize(static_cast<std::size_t>(m));
+  std::vector<std::vector<SlaveSpec>> specs(
+      static_cast<std::size_t>(num_shards));
+  for (int j = 0; j < m; ++j) {
+    const int shard = j % num_shards;
+    const std::size_t ks = static_cast<std::size_t>(shard);
+    shard_of_[static_cast<std::size_t>(j)] = shard;
+    local_id_[static_cast<std::size_t>(j)] =
+        static_cast<core::SlaveId>(shard_slaves_[ks].size());
+    shard_slaves_[ks].push_back(static_cast<core::SlaveId>(j));
+    specs[ks].push_back(platform.at(j));
+  }
+  shard_platforms_.reserve(static_cast<std::size_t>(num_shards));
+  for (int k = 0; k < num_shards; ++k) {
+    shard_platforms_.emplace_back(
+        std::move(specs[static_cast<std::size_t>(k)]));
+  }
+}
+
+std::vector<AvailabilityProfile> PlatformPartition::slice_availability(
+    const std::vector<AvailabilityProfile>& global, int shard) const {
+  if (global.empty()) return {};
+  if (global.size() != shard_of_.size()) {
+    throw std::invalid_argument(
+        "PlatformPartition: availability profile count must match the global "
+        "slave count");
+  }
+  const std::vector<core::SlaveId>& slaves =
+      shard_slaves_[static_cast<std::size_t>(shard)];
+  std::vector<AvailabilityProfile> out;
+  out.reserve(slaves.size());
+  for (core::SlaveId j : slaves) {
+    out.push_back(global[static_cast<std::size_t>(j)]);
+  }
+  return out;
+}
+
+}  // namespace msol::platform

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "platform/availability.hpp"
+#include "platform/platform.hpp"
+
+namespace msol::platform {
+
+/// A stable, deterministic split of a platform's slaves into K shards, each
+/// a self-contained one-port cluster (own master port, own slave set) that
+/// preserves the paper's model per shard.
+///
+/// Slaves are striped modulo K (global slave j lands in shard j % K at local
+/// index j / K), which is:
+///  * stable — a function of (m, K) only, no seeds, no dependence on the
+///    slave specs, so the same platform always partitions the same way;
+///  * mix-preserving — a heterogeneous platform's c/p spread lands in every
+///    shard instead of clustering fast slaves into one;
+///  * identity at K=1 — shard 0 IS the platform, same slave order, which is
+///    what lets ShardedEngine at K=1 stay byte-identical to OnePortEngine.
+///
+/// The partition owns the per-shard Platform objects plus the two lookup
+/// tables (global -> (shard, local) and shard -> locals -> global) the merge
+/// layer needs to translate ids both ways.
+class PlatformPartition {
+ public:
+  /// Throws std::invalid_argument unless 0 < num_shards <= platform.size().
+  PlatformPartition(const Platform& platform, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  const Platform& shard_platform(int shard) const {
+    return shard_platforms_[static_cast<std::size_t>(shard)];
+  }
+  /// Global slave ids of one shard, in local-id order.
+  const std::vector<core::SlaveId>& shard_slaves(int shard) const {
+    return shard_slaves_[static_cast<std::size_t>(shard)];
+  }
+  int shard_of(core::SlaveId global) const {
+    return shard_of_[static_cast<std::size_t>(global)];
+  }
+  core::SlaveId local_id(core::SlaveId global) const {
+    return local_id_[static_cast<std::size_t>(global)];
+  }
+  core::SlaveId global_id(int shard, core::SlaveId local) const {
+    return shard_slaves_[static_cast<std::size_t>(shard)]
+                        [static_cast<std::size_t>(local)];
+  }
+
+  /// Slices one profile-per-global-slave into one profile-per-local-slave
+  /// for `shard`. Empty input stays empty (availability disabled); otherwise
+  /// the input must have one profile per global slave.
+  std::vector<AvailabilityProfile> slice_availability(
+      const std::vector<AvailabilityProfile>& global, int shard) const;
+
+ private:
+  int num_shards_ = 1;
+  std::vector<Platform> shard_platforms_;
+  std::vector<std::vector<core::SlaveId>> shard_slaves_;
+  std::vector<int> shard_of_;
+  std::vector<core::SlaveId> local_id_;
+};
+
+}  // namespace msol::platform

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "algorithms/registry.hpp"
+#include "core/sharded_engine.hpp"
 #include "experiments/spec_fit.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/parallel_runner.hpp"
@@ -55,6 +56,11 @@ constexpr const char* kUsage =
     "  --jsonl FILE      write one JSON object per line; '-' = stdout\n"
     "  --shards K        split the grid across K independent runs\n"
     "  --shard-index I   which 1/K slice this run executes (0-based)\n"
+    "  --engine-shards K simulate each cell's fleet as K one-port clusters\n"
+    "                    (overrides the grid's engine_shards; 1 = the\n"
+    "                    single-engine legacy path, byte-identical)\n"
+    "  --shard-routing R task routing across clusters: hash, round-robin,\n"
+    "                    least-loaded (overrides the grid's shard_routing)\n"
     "  --resume          skip cells committed in the manifest, append output\n"
     "  --manifest FILE   completion manifest path (default: first file\n"
     "                    output + '.manifest')\n"
@@ -77,13 +83,14 @@ constexpr const char* kUsage =
 const std::set<std::string> kValueKeys = {
     "threads", "csv",     "jsonl",      "shards",   "shard-index", "manifest",
     "classes", "slaves",  "tasks",      "iterations", "restarts",  "seed",
-    "window"};
+    "window",  "engine-shards", "shard-routing"};
 const std::set<std::string> kKnownKeys = {
     "threads", "csv",        "jsonl",      "shards", "shard-index",
     "manifest", "resume",    "dry-run",    "print-grid", "quiet",
     "help",    "list-algorithms",
     "search",  "classes",    "slaves",     "tasks",  "iterations",
-    "restarts", "seed",      "window"};
+    "restarts", "seed",      "window",
+    "engine-shards", "shard-routing"};
 
 int run_merge(const msol::util::Cli& cli) {
   using namespace msol;
@@ -241,7 +248,16 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const runner::ScenarioGrid grid = runner::load_grid(cli.positional()[0]);
+    runner::ScenarioGrid grid = runner::load_grid(cli.positional()[0]);
+    if (cli.has("engine-shards")) {
+      const long long k = cli.get_int("engine-shards", 1);
+      if (k < 1) throw std::runtime_error("--engine-shards must be >= 1");
+      grid.engine_shards = static_cast<int>(k);
+    }
+    if (cli.has("shard-routing")) {
+      grid.shard_routing = cli.get("shard-routing", "hash");
+      core::parse_shard_routing(grid.shard_routing);  // validate early
+    }
     const bool quiet = cli.has("quiet");
     const std::size_t shards = cli.get_uint64("shards", 1);
     const std::size_t shard_index = cli.get_uint64("shard-index", 0);

@@ -32,6 +32,7 @@ ResultRecord make_record(const ScenarioSpec& cell,
   record.avail = cell.config.avail;
   record.mtbf_tasks = cell.config.mtbf_tasks;
   record.outage_frac = cell.config.outage_frac;
+  record.engine_shards = cell.config.engine_shards;
   record.result = algorithm;
   return record;
 }

@@ -122,6 +122,7 @@ std::string CsvSink::header() {
       h += stat;
     }
   }
+  h += ",engine_shards";  // appended last: legacy rows stay a column prefix
   return h;
 }
 
@@ -153,6 +154,7 @@ std::string CsvSink::to_csv_row(const ResultRecord& record) {
     row += ',' + util::fmt_exact(s->median);
     row += ',' + util::fmt_exact(s->ci95_half_width);
   }
+  row += ',' + std::to_string(record.engine_shards);
   return row;
 }
 
@@ -224,6 +226,7 @@ std::string JsonLinesSink::to_json(const ResultRecord& record) {
   append_json_array(json, record.result.sum_flow_raw);
   json += ",\"max_flow_raw\":";
   append_json_array(json, record.result.max_flow_raw);
+  json += ",\"engine_shards\":" + std::to_string(record.engine_shards);
   json += "}";
   return json;
 }

@@ -28,6 +28,10 @@ struct ResultRecord {
   platform::AvailabilityModel avail = platform::AvailabilityModel::kAlways;
   double mtbf_tasks = 0.0;
   double outage_frac = 0.0;
+  /// Engine shard count the cell ran with (1 = single engine). Appended as
+  /// the *last* CSV/JSONL column so legacy outputs stay a column-prefix of
+  /// new ones (same convention as the meta "switches" metric).
+  int engine_shards = 1;
   experiments::AlgorithmResult result;
 };
 

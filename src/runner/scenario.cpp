@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "algorithms/registry.hpp"
+#include "core/sharded_engine.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -178,6 +179,8 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
                       cell.config.num_platforms = grid.num_platforms;
                       cell.config.num_tasks = grid.num_tasks;
                       cell.config.lookahead = grid.lookahead;
+                      cell.config.engine_shards = grid.engine_shards;
+                      cell.config.shard_routing = grid.shard_routing;
                       cell.config.algorithms = grid.algorithms;
                       cell.config.ranges = grid.ranges;
                       cell.config.seed = seeder.child_seed(cell.index);
@@ -321,6 +324,20 @@ ScenarioGrid parse_grid(const std::string& text) {
       grid.ipp_amplitude = parse_double(value, raw);
     } else if (key == "ipp_period_tasks") {
       grid.ipp_period_tasks = parse_double(value, raw);
+    } else if (key == "engine_shards") {
+      grid.engine_shards = static_cast<int>(parse_int(value, raw));
+      if (grid.engine_shards < 1) {
+        throw std::invalid_argument("grid: engine_shards must be >= 1 in: " +
+                                    raw);
+      }
+    } else if (key == "shard_routing") {
+      try {
+        core::parse_shard_routing(value);
+      } catch (const std::invalid_argument& error) {
+        throw std::invalid_argument(std::string("grid: ") + error.what() +
+                                    " in: " + raw);
+      }
+      grid.shard_routing = value;
     } else if (key == "comm_lo") {
       grid.ranges.comm_lo = parse_double(value, raw);
     } else if (key == "comm_hi") {
@@ -411,6 +428,12 @@ std::string serialize_grid(const ScenarioGrid& grid) {
   }
   if (grid.outage_fracs != grid_defaults.outage_fracs) {
     join("outage_frac", grid.outage_fracs, util::fmt_exact);
+  }
+  if (grid.engine_shards != grid_defaults.engine_shards) {
+    out << "engine_shards = " << grid.engine_shards << "\n";
+  }
+  if (grid.shard_routing != grid_defaults.shard_routing) {
+    out << "shard_routing = " << grid.shard_routing << "\n";
   }
   if (grid.ipp_amplitude != grid_defaults.ipp_amplitude) {
     out << "ipp_amplitude = " << util::fmt_exact(grid.ipp_amplitude) << "\n";

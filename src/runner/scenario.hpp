@@ -37,6 +37,13 @@ struct ScenarioGrid {
   /// value is `inhomogeneous` (see CampaignConfig for the semantics).
   double ipp_amplitude = 0.9;
   double ipp_period_tasks = 50.0;
+  /// Engine sharding (shared, not swept): every cell simulates its fleet as
+  /// `engine_shards` one-port clusters with `shard_routing` task routing
+  /// (see core/sharded_engine.hpp). The defaults (1, "hash") keep the
+  /// single-engine path and serialize to nothing, preserving legacy grids'
+  /// canonical text and checkpoint config hashes.
+  int engine_shards = 1;
+  std::string shard_routing = "hash";
 
   // Swept axes; expand() takes their cartesian product.
   std::vector<platform::PlatformClass> classes = {

@@ -1,0 +1,255 @@
+// Lazy availability generation: the per-slave AvailabilityCursor must be
+// indistinguishable from a fully materialized AvailabilityProfile of the
+// same realization — same span stream, same next_offline_after answers,
+// same run_work arithmetic — while holding only a bounded window. The
+// engine-level half runs identical scenarios with
+// EngineOptions::availability (materialized via generate_availability_
+// forked) vs EngineOptions::lazy_availability and requires bit-identical
+// schedules and traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "experiments/campaign.hpp"
+#include "platform/availability.hpp"
+#include "platform/availability_stream.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace msol::platform {
+namespace {
+
+LazyAvailabilitySpec make_spec(AvailabilityModel model, std::uint64_t seed,
+                               double mtbf = 10.0, double frac = 0.2,
+                               core::Time horizon = 200.0) {
+  LazyAvailabilitySpec spec;
+  spec.model = model;
+  spec.mtbf = mtbf;
+  spec.outage_frac = frac;
+  spec.horizon = horizon;
+  spec.seed = seed;
+  return spec;
+}
+
+const AvailabilityModel kModels[] = {AvailabilityModel::kRareOutage,
+                                     AvailabilityModel::kChurn,
+                                     AvailabilityModel::kDrift};
+
+// ----------------------------------------------------- cursor vs profile ----
+
+TEST(AvailabilityCursor, DefaultConstructedIsTrivial) {
+  AvailabilityCursor cursor;
+  EXPECT_TRUE(cursor.trivial());
+  EXPECT_TRUE(std::isinf(cursor.next_begin()));
+  EXPECT_FALSE(cursor.next_offline_after(0.0).has_value());
+  const auto run = cursor.run_work(3.0, 2.0, 100.0);
+  EXPECT_TRUE(run.completed);
+  EXPECT_DOUBLE_EQ(run.end, 5.0);
+}
+
+// The cursor's windowed next_offline_after/run_work must answer exactly
+// like AvailabilityProfile's whole-timeline implementations, when driven
+// with the engine's access pattern: monotone queries interleaved with
+// advance() as time passes each span.
+TEST(AvailabilityCursor, QueriesMatchMaterializedProfileUnderEngineDiscipline) {
+  for (const AvailabilityModel model : kModels) {
+    for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+      const LazyAvailabilitySpec spec = make_spec(model, seed);
+      const int slaves = 3;
+      const std::vector<AvailabilityProfile> profiles =
+          generate_availability_forked(spec, slaves);
+      for (int j = 0; j < slaves; ++j) {
+        const std::string label = "model " + to_string(model) + " seed " +
+                                  std::to_string(seed) + " slave " +
+                                  std::to_string(j);
+        const AvailabilityProfile& profile = profiles[j];
+        AvailabilityCursor cursor(spec, j);
+        util::Rng query_rng(seed * 31 + static_cast<std::uint64_t>(j));
+
+        core::Time now = 0.0;
+        while (now < spec.horizon * 1.2) {
+          // Apply every span whose time has come, exactly like
+          // process_avail_transitions does.
+          while (std::isfinite(cursor.next_begin()) &&
+                 cursor.next_begin() <= now) {
+            cursor.advance();
+          }
+          const auto cursor_off = cursor.next_offline_after(now);
+          const auto profile_off = profile.next_offline_after(now);
+          ASSERT_EQ(cursor_off.has_value(), profile_off.has_value())
+              << label << " at t=" << now;
+          if (cursor_off.has_value()) {
+            ASSERT_EQ(*cursor_off, *profile_off) << label << " at t=" << now;
+          }
+
+          const double work = query_rng.uniform(0.1, 5.0);
+          const core::Time until = now + query_rng.uniform(0.5, 30.0);
+          const auto cw = cursor.run_work(now, work, until);
+          const auto pw = profile.run_work(now, work, until);
+          ASSERT_EQ(cw.completed, pw.completed) << label << " at t=" << now;
+          ASSERT_EQ(cw.end, pw.end) << label << " at t=" << now;
+          ASSERT_EQ(cw.work_done, pw.work_done) << label << " at t=" << now;
+
+          now += query_rng.uniform(0.25, 8.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(AvailabilityCursor, StreamsAreIndependentPerSlave) {
+  // Slave j's realization is a function of (seed, j) only: generating 2 or
+  // 20 slaves must not change slave 1's spans. (generate_availability's
+  // shared stream deliberately lacks this property — it is why the lazy
+  // path forks.)
+  const LazyAvailabilitySpec spec = make_spec(AvailabilityModel::kChurn, 99);
+  const auto few = generate_availability_forked(spec, 2);
+  const auto many = generate_availability_forked(spec, 20);
+  for (int j = 0; j < 2; ++j) {
+    const auto& a = few[j].spans();
+    const auto& b = many[j].spans();
+    ASSERT_EQ(a.size(), b.size()) << "slave " << j;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].begin, b[i].begin);
+      EXPECT_EQ(a[i].online, b[i].online);
+      EXPECT_EQ(a[i].speed, b[i].speed);
+    }
+  }
+}
+
+TEST(AvailabilityStream, ValidateRejectsTheGeneratorsBadKnobs) {
+  EXPECT_NO_THROW(validate(make_spec(AvailabilityModel::kChurn, 1)));
+  // kAlways is inert: knobs are not even inspected.
+  EXPECT_NO_THROW(
+      validate(make_spec(AvailabilityModel::kAlways, 1, -1.0, 5.0, -1.0)));
+  EXPECT_THROW(validate(make_spec(AvailabilityModel::kChurn, 1, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      validate(make_spec(AvailabilityModel::kChurn, 1, 10.0, 0.95)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      validate(make_spec(AvailabilityModel::kChurn, 1, 10.0, 0.2, 0.0)),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------- engine identity ----
+
+void expect_identical_runs(const core::OnePortEngine& actual,
+                           const core::OnePortEngine& expected,
+                           const std::string& label) {
+  const core::Schedule& a = actual.schedule();
+  const core::Schedule& e = expected.schedule();
+  ASSERT_EQ(a.size(), e.size()) << label;
+  for (int i = 0; i < a.size(); ++i) {
+    const core::TaskRecord& ra = a.at(i);
+    const core::TaskRecord& re = e.at(i);
+    ASSERT_EQ(ra.task, re.task) << label << " record " << i;
+    ASSERT_EQ(ra.slave, re.slave) << label << " record " << i;
+    ASSERT_EQ(ra.send_start, re.send_start) << label << " record " << i;
+    ASSERT_EQ(ra.send_end, re.send_end) << label << " record " << i;
+    ASSERT_EQ(ra.comp_start, re.comp_start) << label << " record " << i;
+    ASSERT_EQ(ra.comp_end, re.comp_end) << label << " record " << i;
+  }
+  const auto& ta = actual.trace().events();
+  const auto& te = expected.trace().events();
+  ASSERT_EQ(ta.size(), te.size()) << label;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].kind, te[i].kind) << label << " event " << i;
+    ASSERT_EQ(ta[i].time, te[i].time) << label << " event " << i;
+    ASSERT_EQ(ta[i].task, te[i].task) << label << " event " << i;
+    ASSERT_EQ(ta[i].slave, te[i].slave) << label << " event " << i;
+    ASSERT_EQ(ta[i].aux, te[i].aux) << label << " event " << i;
+  }
+}
+
+TEST(AvailabilityStreamEngine, LazyIsBitIdenticalToMaterialized) {
+  for (const AvailabilityModel model : kModels) {
+    for (std::uint64_t seed : {3ULL, 17ULL, 2024ULL}) {
+      for (const char* policy : {"LS", "SRPT", "RR"}) {
+        const std::string label = "model " + to_string(model) + " seed " +
+                                  std::to_string(seed) + " " + policy;
+        util::Rng rng(seed);
+        const int m = static_cast<int>(rng.uniform_int(2, 6));
+        const platform::Platform plat =
+            platform::PlatformGenerator().generate(
+                PlatformClass::kFullyHeterogeneous, m, rng);
+        const double rate = 0.9 * experiments::max_throughput(plat);
+        const core::Workload work = core::Workload::poisson(60, rate, rng);
+        const LazyAvailabilitySpec spec =
+            make_spec(model, seed * 1000 + 1, 8.0 / rate, 0.25, 90.0 / rate);
+
+        core::EngineOptions materialized;
+        materialized.enable_trace = true;
+        materialized.availability = generate_availability_forked(spec, m);
+
+        core::EngineOptions lazy;
+        lazy.enable_trace = true;
+        lazy.lazy_availability = spec;
+
+        const auto policy_e = algorithms::make_scheduler(policy);
+        core::OnePortEngine expected(plat, *policy_e, materialized);
+        expected.load(work);
+        expected.run_to_completion();
+
+        const auto policy_a = algorithms::make_scheduler(policy);
+        core::OnePortEngine actual(plat, *policy_a, lazy);
+        actual.load(work);
+        actual.run_to_completion();
+
+        expect_identical_runs(actual, expected, label);
+        EXPECT_EQ(actual.disruption().redispatches,
+                  expected.disruption().redispatches)
+            << label;
+        EXPECT_EQ(actual.disruption().lost_work,
+                  expected.disruption().lost_work)
+            << label;
+      }
+    }
+  }
+}
+
+TEST(AvailabilityStreamEngine, LazyAlwaysModelIsTheClosedFormPath) {
+  // An inert lazy spec must behave exactly like no availability at all.
+  util::Rng rng(5);
+  const platform::Platform plat = platform::PlatformGenerator().generate(
+      PlatformClass::kFullyHeterogeneous, 3, rng);
+  const core::Workload work = core::Workload::all_at_zero(20);
+
+  core::EngineOptions plain;
+  plain.enable_trace = true;
+  core::EngineOptions lazy = plain;
+  lazy.lazy_availability = make_spec(AvailabilityModel::kAlways, 1);
+
+  const auto policy_e = algorithms::make_scheduler("LS");
+  core::OnePortEngine expected(plat, *policy_e, plain);
+  expected.load(work);
+  expected.run_to_completion();
+
+  const auto policy_a = algorithms::make_scheduler("LS");
+  core::OnePortEngine actual(plat, *policy_a, lazy);
+  actual.load(work);
+  actual.run_to_completion();
+  expect_identical_runs(actual, expected, "lazy kAlways");
+}
+
+TEST(AvailabilityStreamEngine, MaterializedAndLazyAreMutuallyExclusive) {
+  util::Rng rng(6);
+  const platform::Platform plat = platform::PlatformGenerator().generate(
+      PlatformClass::kFullyHomogeneous, 2, rng);
+  core::EngineOptions options;
+  options.availability.assign(2, AvailabilityProfile{});
+  options.lazy_availability = make_spec(AvailabilityModel::kChurn, 9);
+  const auto policy = algorithms::make_scheduler("LS");
+  EXPECT_THROW(core::OnePortEngine(plat, *policy, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msol::platform

@@ -20,6 +20,7 @@
 #include "algorithms/registry.hpp"
 #include "core/engine.hpp"
 #include "core/reference_engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "experiments/campaign.hpp"
 #include "platform/availability.hpp"
 #include "platform/generator.hpp"
@@ -226,6 +227,81 @@ TEST_P(EngineDiff, CalendarEngineMatchesReferenceBitExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, EngineDiff, ::testing::Range(0, kShards));
+
+// ----- sharded engine at K=1 -----------------------------------------------
+//
+// ShardedEngine with a single shard must be byte-identical to the plain
+// OnePortEngine on the same randomized scenarios the base shards use: the
+// identity partition, the merge layer, and the option slicing must all be
+// exact no-ops, under every routing (routing is moot at K=1 but its code
+// path still runs at load time).
+
+void expect_identical_merged(const ShardedEngine& actual,
+                             const EngineView& expected,
+                             const std::string& label) {
+  const Schedule& a = actual.schedule();
+  const Schedule& e = expected.schedule();
+  ASSERT_EQ(a.size(), e.size()) << label;
+  for (int i = 0; i < a.size(); ++i) {
+    const TaskRecord& ra = a.at(i);
+    const TaskRecord& re = e.at(i);
+    ASSERT_EQ(ra.task, re.task) << label << " record " << i;
+    ASSERT_EQ(ra.slave, re.slave) << label << " record " << i;
+    ASSERT_EQ(ra.release, re.release) << label << " record " << i;
+    ASSERT_EQ(ra.send_start, re.send_start) << label << " record " << i;
+    ASSERT_EQ(ra.send_end, re.send_end) << label << " record " << i;
+    ASSERT_EQ(ra.comp_start, re.comp_start) << label << " record " << i;
+    ASSERT_EQ(ra.comp_end, re.comp_end) << label << " record " << i;
+  }
+  ASSERT_EQ(a.makespan(), e.makespan()) << label;
+
+  const auto& ta = actual.trace().events();
+  const auto& te = expected.trace().events();
+  ASSERT_EQ(ta.size(), te.size()) << label;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].kind, te[i].kind) << label << " event " << i;
+    ASSERT_EQ(ta[i].time, te[i].time) << label << " event " << i;
+    ASSERT_EQ(ta[i].task, te[i].task) << label << " event " << i;
+    ASSERT_EQ(ta[i].slave, te[i].slave) << label << " event " << i;
+    ASSERT_EQ(ta[i].aux, te[i].aux) << label << " event " << i;
+  }
+}
+
+class ShardedDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedDiff, SingleShardMatchesOnePortEngineBitExactly) {
+  constexpr ShardRouting kRoutings[] = {ShardRouting::kHash,
+                                        ShardRouting::kRoundRobin,
+                                        ShardRouting::kLeastLoaded};
+  for (int c = 0; c < 10; ++c) {
+    const std::uint64_t seed =
+        555000ULL + 100ULL * static_cast<std::uint64_t>(GetParam()) +
+        static_cast<std::uint64_t>(c);
+    const Scenario scenario = make_scenario(seed);
+    const std::string label = "sharded seed " + std::to_string(seed) + " (" +
+                              scenario.scheduler + ")";
+
+    const auto policy_e =
+        make_policy(scenario.scheduler, scenario.lookahead, 99);
+    OnePortEngine expected(scenario.platform, *policy_e, scenario.options);
+    expected.load(scenario.workload);
+    expected.run_to_completion();
+
+    ShardedEngineOptions options;
+    options.shards = 1;
+    options.routing = kRoutings[seed % std::size(kRoutings)];
+    options.engine = scenario.options;
+    ShardedEngine actual(
+        scenario.platform,
+        [&] { return make_policy(scenario.scheduler, scenario.lookahead, 99); },
+        std::move(options));
+    actual.load(scenario.workload);
+    actual.run_to_completion();
+    expect_identical_merged(actual, expected, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedDiff, ::testing::Range(0, 5));
 
 // ----- adversary probe discipline ------------------------------------------
 

@@ -21,6 +21,7 @@
 #include "core/engine.hpp"
 #include "core/reference_engine.hpp"
 #include "core/schedule_io.hpp"
+#include "core/sharded_engine.hpp"
 #include "platform/availability.hpp"
 #include "platform/generator.hpp"
 #include "util/rng.hpp"
@@ -241,6 +242,40 @@ TEST_P(GoldenTraces, ByteExactAgainstCheckedInTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, GoldenTraces,
+                         ::testing::Range<std::size_t>(0,
+                                                       golden_cases().size()));
+
+// The sharded engine at K=1 must reproduce the very same golden bytes: the
+// identity partition, routing pass, and merge layer all have to be exact
+// no-ops on every pinned fixture (availability, slowdowns, port capacity,
+// 256-slave fleets included).
+class ShardedGoldenTraces : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedGoldenTraces, SingleShardReproducesTheGoldenBytes) {
+  const GoldenCase& c = golden_cases()[GetParam()];
+  if (regen_requested()) GTEST_SKIP() << "regen is handled by GoldenTraces";
+
+  util::Rng rng(c.platform_seed);
+  const platform::Platform plat =
+      platform::PlatformGenerator().generate(c.cls, c.slaves, rng);
+  ShardedEngineOptions options;
+  options.shards = 1;
+  options.engine = make_options(c);
+  ShardedEngine engine(
+      plat,
+      [&] { return algorithms::make_scheduler(c.scheduler, c.lookahead); },
+      std::move(options));
+  const std::string actual = render(c, engine);
+
+  std::ifstream in(golden_path(c), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path(c);
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << c.name << ": ShardedEngine at K=1 diverges from the golden bytes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ShardedGoldenTraces,
                          ::testing::Range<std::size_t>(0,
                                                        golden_cases().size()));
 

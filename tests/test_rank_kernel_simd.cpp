@@ -1,0 +1,102 @@
+// The explicitly vectorized ranking kernel must be bit-identical to the
+// branch-free scalar loop: completion_batch_simd promises memcmp equality
+// with completion_batch on every input (same multiplies, adds, and max
+// selections per lane, no FMA contraction), and delegates to the scalar
+// form whenever the view carries availability state.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/rank_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace msol::core {
+namespace {
+
+struct DenseState {
+  std::vector<Time> comm, comp, ready;
+  std::vector<std::uint8_t> online;
+  std::vector<double> speed;
+
+  explicit DenseState(int m, util::Rng& rng) {
+    comm.reserve(m);
+    comp.reserve(m);
+    ready.reserve(m);
+    online.reserve(m);
+    speed.reserve(m);
+    for (int j = 0; j < m; ++j) {
+      comm.push_back(rng.uniform(0.01, 10.0));
+      comp.push_back(rng.uniform(0.1, 100.0));
+      ready.push_back(rng.uniform(0.0, 500.0));
+      online.push_back(rng.uniform(0.0, 1.0) < 0.2 ? 0 : 1);
+      speed.push_back(rng.uniform(0.25, 2.0));
+    }
+  }
+
+  SlaveStateView view(bool with_online, bool with_speed) const {
+    SlaveStateView v;
+    v.comm = comm.data();
+    v.comp = comp.data();
+    v.ready = ready.data();
+    v.online = with_online ? online.data() : nullptr;
+    v.speed = with_speed ? speed.data() : nullptr;
+    v.m = static_cast<int>(comm.size());
+    return v;
+  }
+};
+
+/// memcmp over the raw doubles: equality of every bit, not just of values
+/// (a -0.0 vs +0.0 or differently-rounded lane would slip past ==).
+void expect_bitwise_equal(const std::vector<Time>& a,
+                          const std::vector<Time>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Time)), 0);
+}
+
+TEST(RankKernelSimd, BitIdenticalToScalarOnStaticViews) {
+  util::Rng rng(2006);
+  // Sizes straddle the 4-lane groups: 0 exercises the empty loop, 1..7 the
+  // scalar tail, the larger sizes the vector body plus every tail length.
+  for (int m : {0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 127, 256, 1001}) {
+    const DenseState state(m, rng);
+    const SlaveStateView v = state.view(false, false);
+    for (int rep = 0; rep < 4; ++rep) {
+      const Time now = rng.uniform(0.0, 1000.0);
+      const Time send_start = now + rng.uniform(0.0, 10.0);
+      const double cf = rng.uniform(0.5, 2.0);
+      const double pf = rng.uniform(0.5, 2.0);
+      std::vector<Time> scalar(m, -1.0);
+      std::vector<Time> simd(m, -2.0);
+      completion_batch(v, now, send_start, cf, pf, scalar.data());
+      completion_batch_simd(v, now, send_start, cf, pf, simd.data());
+      expect_bitwise_equal(scalar, simd);
+    }
+  }
+}
+
+TEST(RankKernelSimd, DelegatesOnAvailabilityViews) {
+  util::Rng rng(7);
+  const DenseState state(37, rng);
+  for (const bool with_online : {false, true}) {
+    for (const bool with_speed : {false, true}) {
+      if (!with_online && !with_speed) continue;
+      const SlaveStateView v = state.view(with_online, with_speed);
+      std::vector<Time> scalar(37), simd(37);
+      completion_batch(v, 5.0, 6.0, 1.5, 0.75, scalar.data());
+      completion_batch_simd(v, 5.0, 6.0, 1.5, 0.75, simd.data());
+      expect_bitwise_equal(scalar, simd);
+    }
+  }
+}
+
+TEST(RankKernelSimd, AvailabilityFlagIsStable) {
+  // Whatever this host reports, it must report consistently — the bench
+  // prints it per run and the kernel dispatches on it per call.
+  const bool first = rank_kernel_simd_available();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(rank_kernel_simd_available(), first);
+}
+
+}  // namespace
+}  // namespace msol::core
