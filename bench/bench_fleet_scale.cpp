@@ -24,8 +24,12 @@
 // A second table covers the sharded engine (core/sharded_engine.hpp): the
 // same (platform, workload, policy) run as one 16384-slave one-port engine
 // (K=1) vs K one-port clusters under hash routing, at fleet sizes the
-// single engine's O(m) per-decision cost makes painful. Peak RSS is
-// recorded after every shard count.
+// single engine's O(m) per-decision cost makes painful. Each sharded row is
+// additionally measured at shard_threads 1, 2 and 4 (the util::ThreadPool
+// advancing the K engines) — output is byte-identical at every thread
+// count, so the t2/t4 columns are pure wall-clock; the speedup they show is
+// bounded by the host's core count (reported as host_threads in the JSON).
+// Peak RSS is recorded after every shard count.
 //
 // Modes:
 //   (no args)            full-scale table to stdout
@@ -42,6 +46,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algorithms/registry.hpp"
@@ -102,9 +107,14 @@ struct ShardedRow {
 struct ShardedResult {
   ShardedRow row;
   double k1_eps = 0.0;       // events/sec, ShardedEngine with K=1
-  double sharded_eps = 0.0;  // events/sec, ShardedEngine with K=row.shards
+  double sharded_eps = 0.0;  // events/sec, K=row.shards, shard_threads=1
+  double sharded_t2_eps = 0.0;  // same run, shard_threads=2
+  double sharded_t4_eps = 0.0;  // same run, shard_threads=4
   long rss_peak_kb = 0;      // process peak RSS after this shard count
   double speedup() const { return k1_eps > 0.0 ? sharded_eps / k1_eps : 0.0; }
+  double thread_speedup() const {
+    return sharded_eps > 0.0 ? sharded_t4_eps / sharded_eps : 0.0;
+  }
 };
 
 /// Best-of-reps throughput of one engine configuration. The scheduler is
@@ -201,11 +211,13 @@ RowResult run_row(const Row& row) {
 /// simulate() — itself engine construction + run).
 double best_sharded_events_per_sec(const platform::Platform& plat,
                                    const core::Workload& work,
-                                   const char* policy, int shards, int reps) {
+                                   const char* policy, int shards,
+                                   int shard_threads, int reps) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     core::ShardedEngineOptions options;
     options.shards = shards;  // routing: default hash
+    options.shard_threads = shard_threads;
     const auto start = std::chrono::steady_clock::now();
     core::ShardedEngine engine(
         plat, [&] { return algorithms::make_scheduler(policy); },
@@ -232,9 +244,13 @@ ShardedResult run_sharded_row(const ShardedRow& row) {
   const core::Workload work = core::Workload::poisson(row.tasks, rate, wrng);
 
   out.k1_eps =
-      best_sharded_events_per_sec(plat, work, row.policy, 1, row.reps);
+      best_sharded_events_per_sec(plat, work, row.policy, 1, 1, row.reps);
   out.sharded_eps = best_sharded_events_per_sec(plat, work, row.policy,
-                                                row.shards, row.reps);
+                                                row.shards, 1, row.reps);
+  out.sharded_t2_eps = best_sharded_events_per_sec(plat, work, row.policy,
+                                                   row.shards, 2, row.reps);
+  out.sharded_t4_eps = best_sharded_events_per_sec(plat, work, row.policy,
+                                                   row.shards, 4, row.reps);
   out.rss_peak_kb = peak_rss_kb();
   return out;
 }
@@ -277,6 +293,10 @@ std::string to_json(const std::vector<RowResult>& results,
   json += ",\"scale\":\"" + std::string(small ? "small" : "full") + "\"";
   json += ",\"simd_available\":";
   json += core::rank_kernel_simd_available() ? "true" : "false";
+  json += ",\"avx512_available\":";
+  json += core::rank_kernel_avx512_available() ? "true" : "false";
+  json += ",\"host_threads\":" +
+          std::to_string(std::max(1u, std::thread::hardware_concurrency()));
   json += ",\"cases\":[";
   bool first = true;
   for (const RowResult& r : results) {
@@ -306,7 +326,10 @@ std::string to_json(const std::vector<RowResult>& results,
     json += ",\"routing\":\"hash\"";
     json += ",\"events_per_sec_k1\":" + fmt(r.k1_eps);
     json += ",\"events_per_sec_sharded\":" + fmt(r.sharded_eps);
+    json += ",\"events_per_sec_sharded_t2\":" + fmt(r.sharded_t2_eps);
+    json += ",\"events_per_sec_sharded_t4\":" + fmt(r.sharded_t4_eps);
     json += ",\"sharded_speedup\":" + fmt(r.speedup());
+    json += ",\"shard_threads_speedup\":" + fmt(r.thread_speedup());
     json += ",\"rss_peak_kb\":" + std::to_string(r.rss_peak_kb) + "}";
   }
   json += "]}";
@@ -328,6 +351,9 @@ const char* const kSchemaKeys[] = {
     "\"sharded\":",              "\"shards\":",
     "\"routing\":",              "\"events_per_sec_k1\":",
     "\"events_per_sec_sharded\":", "\"sharded_speedup\":",
+    "\"events_per_sec_sharded_t2\":", "\"events_per_sec_sharded_t4\":",
+    "\"shard_threads_speedup\":", "\"avx512_available\":",
+    "\"host_threads\":",
 };
 
 int check_schema(const std::string& path) {
@@ -389,9 +415,12 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "simd kernel: "
-            << (core::rank_kernel_simd_available() ? "vectorized"
-                                                   : "scalar fallback")
-            << "\n";
+            << (core::rank_kernel_avx512_available()
+                    ? "avx512"
+                    : core::rank_kernel_simd_available() ? "avx2"
+                                                         : "scalar fallback")
+            << ", host threads: "
+            << std::max(1u, std::thread::hardware_concurrency()) << "\n";
 
   std::vector<ShardedResult> sharded;
   for (const ShardedRow& row : sharded_rows_for_scale(small)) {
@@ -399,7 +428,10 @@ int main(int argc, char** argv) {
     std::cout << r.row.policy << " m=" << r.row.slaves << " n=" << r.row.tasks
               << " K=" << r.row.shards << ": single " << r.k1_eps
               << " ev/s, sharded " << r.sharded_eps << " ev/s (x"
-              << r.speedup() << "), peak RSS " << r.rss_peak_kb << " kb\n";
+              << r.speedup() << "), threads 1/2/4 " << r.sharded_eps << "/"
+              << r.sharded_t2_eps << "/" << r.sharded_t4_eps << " ev/s (x"
+              << r.thread_speedup() << "), peak RSS " << r.rss_peak_kb
+              << " kb\n";
     sharded.push_back(r);
   }
 

@@ -49,6 +49,7 @@ void OnePortEngine::reset(platform::Platform platform,
   pending_begin_ = 0;
   pending_dead_ = 0;
   pending_count_ = 0;
+  load_stamp_ = 0;
   port_busy_until_.clear();
   if (options_.port_capacity > 0) {
     port_busy_until_.assign(static_cast<std::size_t>(options_.port_capacity),
@@ -94,6 +95,16 @@ void OnePortEngine::reset(platform::Platform platform,
         "OnePortEngine: availability and lazy_availability are mutually "
         "exclusive");
   }
+  if (!options_.lazy_stream_ids.empty()) {
+    if (!lazy_avail_) {
+      throw std::invalid_argument(
+          "OnePortEngine: lazy_stream_ids set without lazy_availability");
+    }
+    if (options_.lazy_stream_ids.size() != m) {
+      throw std::invalid_argument(
+          "OnePortEngine: lazy_stream_ids must have one entry per slave");
+    }
+  }
   if (!options_.availability.empty()) {
     if (options_.availability.size() != m) {
       throw std::invalid_argument(
@@ -127,8 +138,12 @@ void OnePortEngine::reset(platform::Platform platform,
     platform::validate(options_.lazy_availability);
     avail_cursors_.reserve(m);
     for (std::size_t j = 0; j < m; ++j) {
-      avail_cursors_.emplace_back(options_.lazy_availability,
-                                  static_cast<int>(j));
+      // Identity keying draws slave j's stream as fork j; a ShardedEngine
+      // re-keys each local slave to its global id (see EngineOptions).
+      const int stream = options_.lazy_stream_ids.empty()
+                             ? static_cast<int>(j)
+                             : static_cast<int>(options_.lazy_stream_ids[j]);
+      avail_cursors_.emplace_back(options_.lazy_availability, stream);
       if (!avail_cursors_[j].trivial()) avail_enabled_ = true;
     }
     if (avail_enabled_) {
@@ -207,6 +222,7 @@ void OnePortEngine::pending_push_back(TaskId id) {
   }
   ++pending_bucket_live_[bucket];
   ++pending_count_;
+  ++load_stamp_;
 }
 
 void OnePortEngine::pending_erase(TaskId id) {
@@ -216,6 +232,7 @@ void OnePortEngine::pending_erase(TaskId id) {
   pending_slot_of_[static_cast<std::size_t>(id)] = -1;
   --pending_bucket_live_[slot >> kPendingBucketShift];
   --pending_count_;
+  ++load_stamp_;
   ++pending_dead_;
   // Amortized compaction: once tombstones outnumber the live entries the
   // vector is rebuilt live-only, so the slot array stays O(live) and every

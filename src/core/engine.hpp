@@ -74,6 +74,16 @@ struct EngineOptions {
   /// materialized into `availability` (tests/test_availability_stream.cpp
   /// pins this). Mutually exclusive with a non-empty `availability`.
   platform::LazyAvailabilitySpec lazy_availability;
+  /// Stream re-keying for `lazy_availability`: when non-empty it must hold
+  /// one entry per slave, and slave j draws its availability spans from
+  /// counter-fork `lazy_stream_ids[j]` of lazy_availability.seed instead of
+  /// fork j. ShardedEngine maps each shard-local slave to its GLOBAL slave
+  /// id this way, so a sharded lazy run replays exactly the per-slave
+  /// realizations a materialized generate_availability_forked(spec, m)
+  /// run slices by the partition (test_sharded.cpp pins the byte-identity).
+  /// Empty = identity keying; must be empty when lazy_availability is
+  /// disabled.
+  std::vector<SlaveId> lazy_stream_ids;
   /// Record a decision/event log readable via OnePortEngine::trace().
   bool enable_trace = false;
   /// Event-calendar implementation (see EventQueueChoice). Behavior is
@@ -199,6 +209,16 @@ class OnePortEngine final : public EngineView {
   /// availability is disabled.
   const DisruptionStats& disruption() const { return disruption_; }
 
+  /// Monotone revision counter of the load state ShardedEngine's
+  /// least-loaded router reads — pending-set membership and master-port
+  /// commitments. Bumped on every pending push/erase (which covers commits,
+  /// releases, and outage re-queues; the port array only changes inside
+  /// commit) and never by pure time advancement, so a cached
+  /// (pending_count, port_free_at) snapshot stays exact while the stamp is
+  /// unchanged — modulo port_free_at's clamp to now(), which the caller
+  /// reapplies as max(cached, current epoch instant).
+  std::uint64_t load_stamp() const { return load_stamp_; }
+
   /// --- EngineView (the scheduler/adversary observables) -------------------
 
   Time now() const override { return now_; }
@@ -291,6 +311,7 @@ class OnePortEngine final : public EngineView {
   mutable std::size_t pending_begin_ = 0;
   int pending_dead_ = 0;
   int pending_count_ = 0;
+  std::uint64_t load_stamp_ = 0;  ///< see load_stamp()
 
   std::vector<Time> port_busy_until_;  ///< size == port_capacity (1+)
   std::vector<Time> slave_ready_;

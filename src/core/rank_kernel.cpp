@@ -79,6 +79,14 @@ bool rank_kernel_simd_available() {
 #endif
 }
 
+bool rank_kernel_avx512_available() {
+#ifdef MSOL_RANK_KERNEL_SIMD
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
 #ifdef MSOL_RANK_KERNEL_SIMD
 namespace {
 
@@ -121,6 +129,66 @@ __attribute__((target("avx2"))) void completion_batch_avx2(
   }
 }
 
+typedef double Vd8 __attribute__((vector_size(64)));
+
+/// 8-lane tmax; lowers to a single vmaxpd zmm under target("avx512f").
+/// Only "avx512f" is requested — Foundation carries 512-bit vmaxpd/vmulpd/
+/// vaddpd, and it also carries FMA forms, which is why this TU is compiled
+/// with -ffp-contract=off (see CMakeLists): a contracted mul+add would
+/// round once instead of twice and break bit-identity with the scalar probe.
+__attribute__((target("avx512f"))) inline Vd8 vmax8(Vd8 a, Vd8 b) {
+  return a < b ? b : a;
+}
+
+__attribute__((target("avx512f"))) void completion_batch_avx512(
+    const SlaveStateView& s, Time now, Time send_start, double comm_factor,
+    double comp_factor, Time* out) {
+  const int m = s.m;
+  const Vd8 vnow = {now, now, now, now, now, now, now, now};
+  const Vd8 vsend = {send_start, send_start, send_start, send_start,
+                     send_start, send_start, send_start, send_start};
+  const Vd8 vcf = {comm_factor, comm_factor, comm_factor, comm_factor,
+                   comm_factor, comm_factor, comm_factor, comm_factor};
+  const Vd8 vpf = {comp_factor, comp_factor, comp_factor, comp_factor,
+                   comp_factor, comp_factor, comp_factor, comp_factor};
+  int j = 0;
+  // Two independent 8-lane chains per iteration: the max chains serialize a
+  // single accumulator at vmaxpd latency, so a second in-flight group hides
+  // it. Lanes never interact, so the unroll cannot change any lane's value.
+  for (; j + 16 <= m; j += 16) {
+    Vd8 comm0, comp0, ready0, comm1, comp1, ready1;
+    std::memcpy(&comm0, s.comm + j, sizeof comm0);
+    std::memcpy(&comp0, s.comp + j, sizeof comp0);
+    std::memcpy(&ready0, s.ready + j, sizeof ready0);
+    std::memcpy(&comm1, s.comm + j + 8, sizeof comm1);
+    std::memcpy(&comp1, s.comp + j + 8, sizeof comp1);
+    std::memcpy(&ready1, s.ready + j + 8, sizeof ready1);
+    const Vd8 send_end0 = vsend + comm0 * vcf;
+    const Vd8 send_end1 = vsend + comm1 * vcf;
+    const Vd8 comp_start0 = vmax8(send_end0, vmax8(vnow, ready0));
+    const Vd8 comp_start1 = vmax8(send_end1, vmax8(vnow, ready1));
+    const Vd8 completion0 = comp_start0 + comp0 * vpf;
+    const Vd8 completion1 = comp_start1 + comp1 * vpf;
+    std::memcpy(out + j, &completion0, sizeof completion0);
+    std::memcpy(out + j + 8, &completion1, sizeof completion1);
+  }
+  for (; j + 8 <= m; j += 8) {
+    Vd8 comm, comp, ready;
+    std::memcpy(&comm, s.comm + j, sizeof comm);
+    std::memcpy(&comp, s.comp + j, sizeof comp);
+    std::memcpy(&ready, s.ready + j, sizeof ready);
+    const Vd8 send_end = vsend + comm * vcf;
+    const Vd8 comp_start = vmax8(send_end, vmax8(vnow, ready));
+    const Vd8 completion = comp_start + comp * vpf;
+    std::memcpy(out + j, &completion, sizeof completion);
+  }
+  for (; j < m; ++j) {  // scalar tail, same operation sequence
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    out[j] = comp_start + s.comp[j] * comp_factor;
+  }
+}
+
 }  // namespace
 #endif  // MSOL_RANK_KERNEL_SIMD
 
@@ -129,16 +197,48 @@ void completion_batch_simd(const SlaveStateView& s, Time now, Time send_start,
 #ifndef MSOL_RANK_KERNEL_SIMD
   completion_batch(s, now, send_start, comm_factor, comp_factor, out);
 #else
-  if (s.online != nullptr || s.speed != nullptr ||
-      !rank_kernel_simd_available()) {
+  if (s.online != nullptr || s.speed != nullptr) {
     // Availability state is per-lane divergent (offline infinities, per-
-    // slave speed divides); the scalar loop handles it. Pre-AVX2 hosts
-    // take the same path.
+    // slave speed divides); the scalar loop handles it.
     completion_batch(s, now, send_start, comm_factor, comp_factor, out);
     return;
   }
-  completion_batch_avx2(s, now, send_start, comm_factor, comp_factor, out);
+  // Widest ISA the host carries; every body is bit-identical, so this is a
+  // pure throughput decision. Pre-AVX2 hosts fall through to scalar.
+  if (rank_kernel_avx512_available()) {
+    completion_batch_avx512(s, now, send_start, comm_factor, comp_factor, out);
+    return;
+  }
+  if (rank_kernel_simd_available()) {
+    completion_batch_avx2(s, now, send_start, comm_factor, comp_factor, out);
+    return;
+  }
+  completion_batch(s, now, send_start, comm_factor, comp_factor, out);
 #endif
+}
+
+void completion_batch_width(RankKernelWidth width, const SlaveStateView& s,
+                            Time now, Time send_start, double comm_factor,
+                            double comp_factor, Time* out) {
+  if (width == RankKernelWidth::kAuto) {
+    completion_batch_simd(s, now, send_start, comm_factor, comp_factor, out);
+    return;
+  }
+#ifdef MSOL_RANK_KERNEL_SIMD
+  if (s.online == nullptr && s.speed == nullptr) {
+    if (width == RankKernelWidth::kAvx512 && rank_kernel_avx512_available()) {
+      completion_batch_avx512(s, now, send_start, comm_factor, comp_factor,
+                              out);
+      return;
+    }
+    if (width == RankKernelWidth::kAvx2 && rank_kernel_simd_available()) {
+      completion_batch_avx2(s, now, send_start, comm_factor, comp_factor, out);
+      return;
+    }
+  }
+#endif
+  // kScalar, an unavailable ISA, or a view with availability state.
+  completion_batch(s, now, send_start, comm_factor, comp_factor, out);
 }
 
 SlaveId rank_best_completion(const SlaveStateView& s, Time now,

@@ -77,4 +77,32 @@ bool rank_kernel_simd_available();
 void completion_batch_simd(const SlaveStateView& s, Time now, Time send_start,
                            double comm_factor, double comp_factor, Time* out);
 
+/// True when the AVX-512 variant below will actually run: the build carries
+/// the vector-extension kernels AND the host CPU reports AVX-512
+/// Foundation. Independent of rank_kernel_simd_available() — a host can
+/// have AVX2 without AVX-512 (most do), never the reverse in practice.
+bool rank_kernel_avx512_available();
+
+/// Which explicit kernel body completion_batch_width runs. kAuto is what
+/// completion_batch_simd dispatches: widest ISA the host supports, scalar
+/// when none. The pinned values force one body (falling back to scalar when
+/// the build or host lacks the ISA) so the bit-identity tests can memcmp
+/// every implementation against every other on the same host.
+enum class RankKernelWidth : std::uint8_t {
+  kAuto,
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+/// completion_batch through one pinned kernel body (see RankKernelWidth).
+/// Same contract as completion_batch_simd: views with online/speed state
+/// always delegate to the scalar form, and every width is bit-identical to
+/// scalar (no FMA, no reassociation — the kernel TU is additionally built
+/// with -ffp-contract=off because the AVX-512 target would otherwise let
+/// the compiler contract mul+add into the FMA forms that ISA carries).
+void completion_batch_width(RankKernelWidth width, const SlaveStateView& s,
+                            Time now, Time send_start, double comm_factor,
+                            double comp_factor, Time* out);
+
 }  // namespace msol::core

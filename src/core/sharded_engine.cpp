@@ -1,6 +1,8 @@
 #include "core/sharded_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "util/rng.hpp"
@@ -29,11 +31,15 @@ ShardedEngine::ShardedEngine(const platform::Platform& platform,
                              const SchedulerFactory& factory,
                              ShardedEngineOptions options)
     : options_(std::move(options)), partition_(platform, options_.shards) {
-  if (options_.engine.lazy_availability.enabled()) {
+  if (!options_.engine.lazy_stream_ids.empty()) {
     throw std::invalid_argument(
-        "ShardedEngine: lazy_availability is not supported (its per-slave "
-        "streams are keyed by engine-local index; materialize with "
-        "generate_availability_forked instead)");
+        "ShardedEngine: engine.lazy_stream_ids must be left empty (the "
+        "partition owns the re-keying of lazy availability streams)");
+  }
+  if (options_.shard_threads < 0) {
+    throw std::invalid_argument(
+        "ShardedEngine: shard_threads must be >= 0 (0 = hardware "
+        "concurrency)");
   }
   const int num = partition_.num_shards();
   shard_options_.reserve(static_cast<std::size_t>(num));
@@ -60,6 +66,13 @@ ShardedEngine::ShardedEngine(const platform::Platform& platform,
       local.slave = partition_.local_id(w.slave);
       opts.slowdowns.push_back(local);
     }
+    if (options_.engine.lazy_availability.enabled()) {
+      // Re-key each shard-local slave's lazy stream to its GLOBAL slave id,
+      // so the churn a slave draws is a property of the slave, not of which
+      // shard it landed in — byte-identical to materializing
+      // generate_availability_forked(spec, m) and slicing by the partition.
+      opts.lazy_stream_ids = partition_.shard_slaves(k);
+    }
     shard_options_.push_back(opts);
     schedulers_.push_back(factory());
     if (schedulers_.back() == nullptr) {
@@ -70,6 +83,22 @@ ShardedEngine::ShardedEngine(const platform::Platform& platform,
     engines_.push_back(std::make_unique<OnePortEngine>(
         partition_.shard_platform(k), *schedulers_.back(),
         shard_options_.back()));
+  }
+  int threads = options_.shard_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::min(threads, num);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+void ShardedEngine::for_each_shard(
+    const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->run(engines_.size(), fn);
+  } else {
+    for (std::size_t k = 0; k < engines_.size(); ++k) fn(k);
   }
 }
 
@@ -121,31 +150,89 @@ void ShardedEngine::run_to_completion() {
   ran_ = true;
   const int num = num_shards();
   if (options_.routing == ShardRouting::kLeastLoaded && num > 1) {
-    // Lockstep epochs: advance every shard to the release instant, then
-    // route that instant's tasks (in injection order) by observed load.
-    // Sequential and state-deterministic, hence reproducible anywhere.
+    // Lockstep epochs: advance every shard to the release instant (one pool
+    // barrier when threaded), then route that instant's tasks (in injection
+    // order) by observed load. Every load read happens after the barrier
+    // and every injection before the next one, so the decisions — and the
+    // merged output — are identical at any thread count.
+    load_cache_.assign(static_cast<std::size_t>(num), ShardLoad{});
     std::size_t i = 0;
     while (i < loaded_.size()) {
       const Time t = loaded_[i].release;
-      for (int k = 0; k < num; ++k) engines_[k]->run_until(t);
-      while (i < loaded_.size() && loaded_[i].release == t) {
-        int best = 0;
-        for (int k = 1; k < num; ++k) {
-          const OnePortEngine& e = shard_engine(k);
-          const OnePortEngine& b = shard_engine(best);
-          if (e.pending_count() < b.pending_count() ||
-              (e.pending_count() == b.pending_count() &&
-               e.port_free_at() < b.port_free_at() - kTimeEps)) {
-            best = k;
-          }
+      for_each_shard([&](std::size_t k) { engines_[k]->run_until(t); });
+      if (options_.route_scan) {
+        while (i < loaded_.size() && loaded_[i].release == t) {
+          assign_to_shard(route_least_loaded_scan(), static_cast<TaskId>(i));
+          ++i;
         }
-        assign_to_shard(best, static_cast<TaskId>(i));
-        ++i;
+      } else {
+        // inject_task touches neither pending_count() nor port_free_at()
+        // (the release is processed by a later run_until), so every task
+        // sharing this release instant routes to the same shard — decide
+        // once per epoch, not once per injection.
+        const int best = route_least_loaded(t);
+        while (i < loaded_.size() && loaded_[i].release == t) {
+          assign_to_shard(best, static_cast<TaskId>(i));
+          ++i;
+        }
       }
     }
   }
-  for (int k = 0; k < num; ++k) engines_[k]->run_to_completion();
+  for_each_shard([&](std::size_t k) { engines_[k]->run_to_completion(); });
   merge();
+}
+
+int ShardedEngine::route_least_loaded(Time t) {
+  const int num = num_shards();
+  // Refresh only shards whose load state moved since the last epoch:
+  // load_stamp() bumps on every pending push/erase, and the master port's
+  // busy horizon only changes inside a commit (which erases a pending
+  // entry first), so an unchanged stamp pins both cached fields.
+  for (int k = 0; k < num; ++k) {
+    const OnePortEngine& e = shard_engine(k);
+    ShardLoad& c = load_cache_[static_cast<std::size_t>(k)];
+    const std::uint64_t stamp = e.load_stamp();
+    if (c.stamp != stamp) {
+      c.pending = e.pending_count();
+      c.port_free = e.port_free_at();
+      c.stamp = stamp;
+    }
+  }
+  // Same comparison scan as the original per-injection loop (the
+  // eps-tolerant port tie-break is not a total order, so the scan shape is
+  // load-bearing), over cached records. port_free was captured at an
+  // earlier engine now(); port_free_at() = max(busy horizon, now) and
+  // epoch times are monotone, so clamping to the current instant restores
+  // today's value exactly.
+  int best = 0;
+  int best_pending = load_cache_[0].pending;
+  Time best_free = std::max(load_cache_[0].port_free, t);
+  for (int k = 1; k < num; ++k) {
+    const ShardLoad& c = load_cache_[static_cast<std::size_t>(k)];
+    const Time free_k = std::max(c.port_free, t);
+    if (c.pending < best_pending ||
+        (c.pending == best_pending && free_k < best_free - kTimeEps)) {
+      best = k;
+      best_pending = c.pending;
+      best_free = free_k;
+    }
+  }
+  return best;
+}
+
+int ShardedEngine::route_least_loaded_scan() const {
+  const int num = num_shards();
+  int best = 0;
+  for (int k = 1; k < num; ++k) {
+    const OnePortEngine& e = shard_engine(k);
+    const OnePortEngine& b = shard_engine(best);
+    if (e.pending_count() < b.pending_count() ||
+        (e.pending_count() == b.pending_count() &&
+         e.port_free_at() < b.port_free_at() - kTimeEps)) {
+      best = k;
+    }
+  }
+  return best;
 }
 
 void ShardedEngine::merge() {

@@ -13,6 +13,7 @@
 #include "core/workload.hpp"
 #include "platform/partition.hpp"
 #include "platform/platform.hpp"
+#include "util/thread_pool.hpp"
 
 namespace msol::core {
 
@@ -39,13 +40,26 @@ ShardRouting parse_shard_routing(const std::string& text);
 /// Knobs for a ShardedEngine. `engine` holds the per-shard OnePortEngine
 /// options in GLOBAL terms: `availability` has one profile per global slave
 /// and `slowdowns` name global slave ids — the sharded engine slices and
-/// remaps both to each shard's local ids. `lazy_availability` is rejected
-/// (its per-slave streams are keyed by engine-local slave index, which
-/// sharding would silently re-key; materialize via
-/// generate_availability_forked instead).
+/// remaps both to each shard's local ids. `lazy_availability` is supported:
+/// each shard-local slave's stream is re-keyed to its GLOBAL slave id via
+/// EngineOptions::lazy_stream_ids, so the lazy sharded run is byte-identical
+/// to materializing generate_availability_forked(spec, m) into
+/// `availability` (a caller-supplied `engine.lazy_stream_ids` is the one
+/// configuration that stays rejected — the partition owns the re-keying).
 struct ShardedEngineOptions {
   int shards = 1;
   ShardRouting routing = ShardRouting::kHash;
+  /// Threads advancing the shard engines: 1 = sequential (the legacy
+  /// in-thread loop), 0 = hardware concurrency, clamped to `shards`.
+  /// Merged output is byte-identical at any value — stateless routings run
+  /// the shards independently, and least-loaded synchronizes on a barrier
+  /// at every release epoch before any shard state is read.
+  int shard_threads = 1;
+  /// Differential baseline for the incremental least-loaded router: route
+  /// by the original per-injection O(K) engine scan instead of the cached
+  /// load records. Semantics are pinned identical by test_sharded.cpp's
+  /// equivalence shard; production runs leave this off.
+  bool route_scan = false;
   EngineOptions engine;
 };
 
@@ -62,14 +76,26 @@ using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
 /// single byte-stable global view (ids translated back to global task and
 /// slave numbering).
 ///
-/// Execution is sequential over shards — determinism costs nothing, and the
-/// ParallelRunner already parallelizes across grid cells; the win is each
-/// shard's O(m/K) slave state and event calendar. Stateless routings (hash,
-/// round-robin) preload each shard's slice up front and run shards
-/// independently to completion; least-loaded advances all shards in
-/// lockstep release epochs (run_until each release instant, route by
-/// observed load, inject, repeat), which is reproducible because the shard
-/// states it reads are themselves deterministic.
+/// Execution is parallel over shards when `shard_threads` > 1 (a
+/// util::ThreadPool advances the K engines; each engine and its scheduler
+/// are only ever touched by the thread that claimed its job, and every
+/// read of shard state happens after the pool's barrier), sequential
+/// otherwise — byte-identical either way, because routing and merging are
+/// functions of per-shard states that do not depend on which thread
+/// advanced them. Stateless routings (hash, round-robin) preload each
+/// shard's slice up front and run shards independently to completion (one
+/// pool batch, no barriers in between); least-loaded advances all shards
+/// in lockstep release epochs (run_until each release instant — one pool
+/// barrier — then route by observed load, inject, repeat), which is
+/// reproducible because the shard states it reads are themselves
+/// deterministic. The least-loaded decision itself is incremental: each
+/// shard's (pending_count, port_free_at) is cached and refreshed only when
+/// the engine's load_stamp() moved, so an epoch costs O(changed shards)
+/// virtual probes instead of O(K) per injection — while the comparison
+/// scan keeps the exact shape of the original loop, whose eps-tolerant
+/// port tie-break is not a total order and would drift under any
+/// reordering (ShardedEngineOptions::route_scan retains the original scan
+/// as the differential baseline).
 ///
 /// Semantics vs the unsharded engine: K shards have K master ports and
 /// shard-local pending sets, so for K > 1 this simulates a *federation* of
@@ -80,7 +106,8 @@ using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
 class ShardedEngine {
  public:
   /// Throws std::invalid_argument on shards < 1, shards > platform size,
-  /// or a lazy_availability spec in the options (see ShardedEngineOptions).
+  /// shard_threads < 0, or a caller-supplied engine.lazy_stream_ids (see
+  /// ShardedEngineOptions).
   ShardedEngine(const platform::Platform& platform,
                 const SchedulerFactory& factory, ShardedEngineOptions options);
 
@@ -135,11 +162,35 @@ class ShardedEngine {
   int route_static(std::size_t i) const;
   /// Injects global task `global` into shard k, recording the id mapping.
   void assign_to_shard(int k, TaskId global);
+  /// Runs fn(k) once per shard — on the pool (barrier semantics) when
+  /// shard_threads resolved above 1, inline otherwise.
+  void for_each_shard(const std::function<void(std::size_t)>& fn);
+  /// Incremental kLeastLoaded decision at release instant t: refresh the
+  /// cached load records of shards whose load_stamp() moved, then replay
+  /// the original comparison scan over the cache.
+  int route_least_loaded(Time t);
+  /// The original per-injection O(K) engine scan (options_.route_scan);
+  /// the differential baseline the routing-equivalence tests compare.
+  int route_least_loaded_scan() const;
   /// Builds merged_schedule_ / merged_trace_ / merged_disruption_.
   void merge();
 
   ShardedEngineOptions options_;
   platform::PlatformPartition partition_;
+  /// Worker pool advancing shards (null = sequential). One pool for the
+  /// engine's lifetime: least-loaded runs one barrier per release epoch,
+  /// and parked-worker handshakes are what make that affordable.
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Cached per-shard load snapshot for route_least_loaded(). `stamp`
+  /// starts at a sentinel no engine ever reports so the first epoch
+  /// refreshes everything.
+  struct ShardLoad {
+    int pending = 0;
+    Time port_free = 0.0;
+    std::uint64_t stamp = ~std::uint64_t{0};
+  };
+  std::vector<ShardLoad> load_cache_;
   std::vector<EngineOptions> shard_options_;
   std::vector<std::unique_ptr<OnlineScheduler>> schedulers_;
   std::vector<std::unique_ptr<OnePortEngine>> engines_;

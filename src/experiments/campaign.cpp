@@ -190,6 +190,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         sharded_options.shards = config.engine_shards;
         sharded_options.routing = core::parse_shard_routing(
             config.shard_routing);
+        sharded_options.shard_threads = config.shard_threads;
         sharded_options.engine = options;
         core::ShardedEngine sharded(
             plat,

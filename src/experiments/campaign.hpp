@@ -74,6 +74,11 @@ struct CampaignConfig {
   /// task lands. Requires engine_shards <= num_slaves.
   int engine_shards = 1;
   std::string shard_routing = "hash";
+  /// Threads advancing the shards of a sharded cell (ShardedEngineOptions::
+  /// shard_threads): 1 = sequential, 0 = hardware concurrency, clamped to
+  /// engine_shards. Output is byte-identical at any value — this is purely
+  /// a wall-clock knob. Ignored when engine_shards == 1.
+  int shard_threads = 1;
   std::vector<std::string> algorithms;  ///< empty = the paper's seven
   platform::GeneratorRanges ranges;     ///< paper defaults
 };

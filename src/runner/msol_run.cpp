@@ -61,6 +61,9 @@ constexpr const char* kUsage =
     "                    single-engine legacy path, byte-identical)\n"
     "  --shard-routing R task routing across clusters: hash, round-robin,\n"
     "                    least-loaded (overrides the grid's shard_routing)\n"
+    "  --shard-threads N threads advancing each sharded cell's clusters\n"
+    "                    (overrides the grid's shard_threads; 0 = all\n"
+    "                    hardware threads; output byte-identical at any N)\n"
     "  --resume          skip cells committed in the manifest, append output\n"
     "  --manifest FILE   completion manifest path (default: first file\n"
     "                    output + '.manifest')\n"
@@ -83,14 +86,14 @@ constexpr const char* kUsage =
 const std::set<std::string> kValueKeys = {
     "threads", "csv",     "jsonl",      "shards",   "shard-index", "manifest",
     "classes", "slaves",  "tasks",      "iterations", "restarts",  "seed",
-    "window",  "engine-shards", "shard-routing"};
+    "window",  "engine-shards", "shard-routing", "shard-threads"};
 const std::set<std::string> kKnownKeys = {
     "threads", "csv",        "jsonl",      "shards", "shard-index",
     "manifest", "resume",    "dry-run",    "print-grid", "quiet",
     "help",    "list-algorithms",
     "search",  "classes",    "slaves",     "tasks",  "iterations",
     "restarts", "seed",      "window",
-    "engine-shards", "shard-routing"};
+    "engine-shards", "shard-routing", "shard-threads"};
 
 int run_merge(const msol::util::Cli& cli) {
   using namespace msol;
@@ -257,6 +260,14 @@ int main(int argc, char** argv) {
     if (cli.has("shard-routing")) {
       grid.shard_routing = cli.get("shard-routing", "hash");
       core::parse_shard_routing(grid.shard_routing);  // validate early
+    }
+    if (cli.has("shard-threads")) {
+      const long long st = cli.get_int("shard-threads", 1);
+      if (st < 0) {
+        throw std::runtime_error(
+            "--shard-threads must be >= 0 (0 = hardware concurrency)");
+      }
+      grid.shard_threads = static_cast<int>(st);
     }
     const bool quiet = cli.has("quiet");
     const std::size_t shards = cli.get_uint64("shards", 1);

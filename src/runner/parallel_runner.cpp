@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "experiments/campaign.hpp"
+#include "util/thread_pool.hpp"
 
 namespace msol::runner {
 
@@ -33,6 +34,7 @@ ResultRecord make_record(const ScenarioSpec& cell,
   record.mtbf_tasks = cell.config.mtbf_tasks;
   record.outage_frac = cell.config.outage_frac;
   record.engine_shards = cell.config.engine_shards;
+  record.shard_threads = cell.config.shard_threads;
   record.result = algorithm;
   return record;
 }
@@ -151,13 +153,13 @@ RunReport ParallelRunner::run_cells(const std::vector<ScenarioSpec>& cells,
     }
   };
 
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
+  // `threads` concurrent workers on the shared pool machinery (the caller
+  // is one of them; at threads == 1 the pool spawns nothing and this is the
+  // old inline call). Workers catch everything into first_error, so the
+  // pool's own error channel never fires here.
+  {
+    util::ThreadPool pool(static_cast<int>(threads));
+    pool.run(threads, [&](std::size_t) { worker(); });
   }
 
   // Close sinks on the error path too: the in-order prefix emitted before

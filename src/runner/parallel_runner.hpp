@@ -42,8 +42,10 @@ struct RunReport {
   double wall_seconds = 0.0;
 };
 
-/// Executes every cell of a scenario grid on a pool of worker threads and
-/// streams ResultRecords to the given sinks.
+/// Executes every cell of a scenario grid on a util::ThreadPool (the
+/// extracted worker-claiming machinery this runner originated; the same
+/// pool now also drives ShardedEngine's shard_threads) and streams
+/// ResultRecords to the given sinks.
 ///
 /// Determinism contract: each cell's campaign seed is a pure function of
 /// (grid seed, cell index) — fixed at expansion, before any thread runs —

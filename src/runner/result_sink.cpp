@@ -123,6 +123,7 @@ std::string CsvSink::header() {
     }
   }
   h += ",engine_shards";  // appended last: legacy rows stay a column prefix
+  h += ",shard_threads";
   return h;
 }
 
@@ -155,6 +156,7 @@ std::string CsvSink::to_csv_row(const ResultRecord& record) {
     row += ',' + util::fmt_exact(s->ci95_half_width);
   }
   row += ',' + std::to_string(record.engine_shards);
+  row += ',' + std::to_string(record.shard_threads);
   return row;
 }
 
@@ -227,6 +229,7 @@ std::string JsonLinesSink::to_json(const ResultRecord& record) {
   json += ",\"max_flow_raw\":";
   append_json_array(json, record.result.max_flow_raw);
   json += ",\"engine_shards\":" + std::to_string(record.engine_shards);
+  json += ",\"shard_threads\":" + std::to_string(record.shard_threads);
   json += "}";
   return json;
 }

@@ -32,6 +32,11 @@ struct ResultRecord {
   /// the *last* CSV/JSONL column so legacy outputs stay a column-prefix of
   /// new ones (same convention as the meta "switches" metric).
   int engine_shards = 1;
+  /// Shard-advancement thread count the cell ran with (echo of the grid's
+  /// shard_threads; purely informational — cell results are byte-identical
+  /// at any value). Appended after engine_shards, keeping the column-prefix
+  /// convention.
+  int shard_threads = 1;
   experiments::AlgorithmResult result;
 };
 

@@ -181,6 +181,7 @@ std::vector<ScenarioSpec> expand(const ScenarioGrid& grid) {
                       cell.config.lookahead = grid.lookahead;
                       cell.config.engine_shards = grid.engine_shards;
                       cell.config.shard_routing = grid.shard_routing;
+                      cell.config.shard_threads = grid.shard_threads;
                       cell.config.algorithms = grid.algorithms;
                       cell.config.ranges = grid.ranges;
                       cell.config.seed = seeder.child_seed(cell.index);
@@ -338,6 +339,13 @@ ScenarioGrid parse_grid(const std::string& text) {
                                     " in: " + raw);
       }
       grid.shard_routing = value;
+    } else if (key == "shard_threads") {
+      grid.shard_threads = static_cast<int>(parse_int(value, raw));
+      if (grid.shard_threads < 0) {
+        throw std::invalid_argument(
+            "grid: shard_threads must be >= 0 (0 = hardware concurrency) "
+            "in: " + raw);
+      }
     } else if (key == "comm_lo") {
       grid.ranges.comm_lo = parse_double(value, raw);
     } else if (key == "comm_hi") {
@@ -434,6 +442,9 @@ std::string serialize_grid(const ScenarioGrid& grid) {
   }
   if (grid.shard_routing != grid_defaults.shard_routing) {
     out << "shard_routing = " << grid.shard_routing << "\n";
+  }
+  if (grid.shard_threads != grid_defaults.shard_threads) {
+    out << "shard_threads = " << grid.shard_threads << "\n";
   }
   if (grid.ipp_amplitude != grid_defaults.ipp_amplitude) {
     out << "ipp_amplitude = " << util::fmt_exact(grid.ipp_amplitude) << "\n";

@@ -44,6 +44,11 @@ struct ScenarioGrid {
   /// canonical text and checkpoint config hashes.
   int engine_shards = 1;
   std::string shard_routing = "hash";
+  /// Threads advancing each sharded cell's shards (shared, not swept):
+  /// 1 = sequential, 0 = hardware concurrency. Purely a wall-clock knob —
+  /// cell output is byte-identical at any value — so like the other
+  /// defaults it serializes to nothing at 1.
+  int shard_threads = 1;
 
   // Swept axes; expand() takes their cartesian product.
   std::vector<platform::PlatformClass> classes = {

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace msol::util {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  width_ = threads;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::claim_jobs(const std::function<void(std::size_t)>& fn,
+                            std::size_t jobs) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_ || i < error_index_) {
+        error_index_ = i;
+        error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    const std::size_t jobs = jobs_;
+    lock.unlock();
+    claim_jobs(*fn, jobs);
+    lock.lock();
+    // run() cannot return (and publish the next batch) until every worker
+    // has checked back in, so fn_/jobs_ are stable for the whole batch.
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t jobs,
+                     const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    // Inline path: sequential in index order. The first throw propagates
+    // directly — which is the lowest failing index, matching the parallel
+    // contract (later jobs simply never start, as in any sequential loop).
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_index_ = 0;
+    running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  claim_jobs(fn, jobs);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace msol::util

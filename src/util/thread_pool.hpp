@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msol::util {
+
+/// Persistent worker pool for barrier-style parallel-for over an index
+/// range — the worker-claiming machinery the ParallelRunner grew for grid
+/// cells, extracted so the ShardedEngine can advance its K shard engines on
+/// the same discipline (one pool per run, one run() per release epoch).
+///
+/// Shape:
+///  * `width` threads of total parallelism, INCLUDING the calling thread:
+///    the constructor spawns width-1 workers and run() makes the caller
+///    claim jobs alongside them, so width == 1 spawns nothing and run() is
+///    a plain inline loop — byte-for-byte the pre-pool sequential behavior.
+///  * run(jobs, fn) executes fn(i) exactly once for each i in [0, jobs),
+///    jobs claimed dynamically via an atomic cursor, and returns only when
+///    every job has finished (a full barrier). Workers park on a condition
+///    variable between batches, so per-batch overhead is a notify + two
+///    mutex handshakes, not thread creation.
+///  * determinism of failure: when jobs throw, every remaining job is still
+///    attempted and the exception of the LOWEST job index is rethrown after
+///    the barrier — the same error a sequential loop would surface first,
+///    so callers see one reproducible failure regardless of width. (The
+///    inline width-1 path stops at the first throw, which is that same
+///    lowest index.)
+///
+/// run() is not reentrant: a job must not call run() on its own pool.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism of run(): spawned workers + the calling thread.
+  int width() const { return width_; }
+
+  /// Runs fn(0) .. fn(jobs - 1) across the pool; see the class comment for
+  /// the barrier and error contract. `fn` must stay alive until return.
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// Claims and executes jobs until the batch cursor is exhausted; shared
+  /// verbatim between the caller and the workers so both sides record
+  /// errors identically.
+  void claim_jobs(const std::function<void(std::size_t)>& fn,
+                  std::size_t jobs);
+  void worker_loop();
+
+  int width_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signaled when a batch is published
+  std::condition_variable done_cv_;  ///< signaled when the last worker drains
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< batch counter; workers wake on change
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< job-claim cursor for the batch
+  int running_ = 0;                   ///< workers still draining the batch
+  std::size_t error_index_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace msol::util

@@ -57,9 +57,12 @@ void expect_bitwise_equal(const std::vector<Time>& a,
 
 TEST(RankKernelSimd, BitIdenticalToScalarOnStaticViews) {
   util::Rng rng(2006);
-  // Sizes straddle the 4-lane groups: 0 exercises the empty loop, 1..7 the
-  // scalar tail, the larger sizes the vector body plus every tail length.
-  for (int m : {0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 127, 256, 1001}) {
+  // Sizes straddle the 4-, 8-, and 16-lane groups: 0 exercises the empty
+  // loop, small sizes the scalar tails, the larger sizes every vector body
+  // (including the AVX-512 two-chain unroll at >= 16) plus every tail
+  // length modulo 4, 8, and 16.
+  for (int m : {0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 15, 16, 17, 23, 24, 31, 32,
+                33, 64, 127, 256, 1001}) {
     const DenseState state(m, rng);
     const SlaveStateView v = state.view(false, false);
     for (int rep = 0; rep < 4; ++rep) {
@@ -72,6 +75,52 @@ TEST(RankKernelSimd, BitIdenticalToScalarOnStaticViews) {
       completion_batch(v, now, send_start, cf, pf, scalar.data());
       completion_batch_simd(v, now, send_start, cf, pf, simd.data());
       expect_bitwise_equal(scalar, simd);
+    }
+  }
+}
+
+TEST(RankKernelSimd, EveryPinnedWidthIsBitIdenticalToScalar) {
+  // completion_batch_width forces one kernel body (falling back to scalar
+  // when the build or host lacks the ISA) — every width must agree with the
+  // scalar loop bit-for-bit, which transitively pins AVX-512 == AVX2.
+  util::Rng rng(512);
+  for (int m : {0, 1, 3, 7, 8, 15, 16, 17, 31, 32, 33, 48, 100, 257}) {
+    const DenseState state(m, rng);
+    const SlaveStateView v = state.view(false, false);
+    for (int rep = 0; rep < 4; ++rep) {
+      const Time now = rng.uniform(0.0, 1000.0);
+      const Time send_start = now + rng.uniform(0.0, 10.0);
+      const double cf = rng.uniform(0.5, 2.0);
+      const double pf = rng.uniform(0.5, 2.0);
+      std::vector<Time> scalar(m, -1.0);
+      completion_batch(v, now, send_start, cf, pf, scalar.data());
+      for (const RankKernelWidth width :
+           {RankKernelWidth::kAuto, RankKernelWidth::kScalar,
+            RankKernelWidth::kAvx2, RankKernelWidth::kAvx512}) {
+        std::vector<Time> out(m, -2.0);
+        completion_batch_width(width, v, now, send_start, cf, pf, out.data());
+        expect_bitwise_equal(scalar, out);
+      }
+    }
+  }
+}
+
+TEST(RankKernelSimd, PinnedWidthsDelegateOnAvailabilityViews) {
+  util::Rng rng(513);
+  const DenseState state(41, rng);
+  for (const bool with_online : {false, true}) {
+    for (const bool with_speed : {false, true}) {
+      if (!with_online && !with_speed) continue;
+      const SlaveStateView v = state.view(with_online, with_speed);
+      std::vector<Time> scalar(41);
+      completion_batch(v, 5.0, 6.0, 1.5, 0.75, scalar.data());
+      for (const RankKernelWidth width :
+           {RankKernelWidth::kAuto, RankKernelWidth::kAvx2,
+            RankKernelWidth::kAvx512}) {
+        std::vector<Time> out(41);
+        completion_batch_width(width, v, 5.0, 6.0, 1.5, 0.75, out.data());
+        expect_bitwise_equal(scalar, out);
+      }
     }
   }
 }
@@ -96,6 +145,13 @@ TEST(RankKernelSimd, AvailabilityFlagIsStable) {
   // prints it per run and the kernel dispatches on it per call.
   const bool first = rank_kernel_simd_available();
   for (int i = 0; i < 3; ++i) EXPECT_EQ(rank_kernel_simd_available(), first);
+  const bool avx512 = rank_kernel_avx512_available();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rank_kernel_avx512_available(), avx512);
+  }
+  // No known x86-64 reports AVX-512F without AVX2; the dispatch order
+  // (avx512 -> avx2 -> scalar) leans on the implication.
+  if (avx512) EXPECT_TRUE(first);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "core/sharded_engine.hpp"
 #include "core/validator.hpp"
 #include "experiments/campaign.hpp"
+#include "platform/availability_stream.hpp"
 #include "platform/generator.hpp"
 #include "platform/partition.hpp"
 #include "runner/checkpoint.hpp"
@@ -127,6 +129,31 @@ Scenario make_scenario(std::uint64_t seed, bool with_availability) {
   return Scenario{std::move(plat), std::move(work), std::move(options)};
 }
 
+/// A fixed m=8 fleet (so K=8 sharding is exercised for real) with releases
+/// quantized to a 0.5 grid — duplicate release instants are what make the
+/// least-loaded epoch loop route several tasks off one load observation.
+Scenario make_fleet_scenario(std::uint64_t seed, bool with_availability) {
+  util::Rng rng(seed);
+  const int m = 8;
+  platform::Platform plat = platform::PlatformGenerator().generate(
+      platform::PlatformClass::kFullyHeterogeneous, m, rng);
+  std::vector<TaskSpec> tasks = Workload::poisson(60, 2.0, rng).tasks();
+  for (TaskSpec& t : tasks) {
+    t.release = std::floor(t.release * 2.0) / 2.0;
+  }
+  Workload work{std::move(tasks)};
+
+  EngineOptions options;
+  options.enable_trace = true;
+  options.slowdowns.push_back(SlowdownWindow{
+      static_cast<SlaveId>(rng.uniform_int(0, m - 1)), 1.0, 6.0, 2.0});
+  if (with_availability) {
+    options.availability = platform::generate_availability(
+        platform::AvailabilityModel::kChurn, m, 8.0, 0.2, 60.0, rng);
+  }
+  return Scenario{std::move(plat), std::move(work), std::move(options)};
+}
+
 SchedulerFactory factory_for(const std::string& name) {
   return [name] { return algorithms::make_scheduler(name); };
 }
@@ -203,10 +230,13 @@ TEST(ShardedEngine, SingleShardIsByteIdenticalToOnePortEngine) {
 /// Runs the sharded engine and returns a canonical text rendering of its
 /// merged views — two runs are "byte-identical" iff these strings match.
 std::string render_merged(const Scenario& s, const char* policy, int shards,
-                          ShardRouting routing) {
+                          ShardRouting routing, int shard_threads = 1,
+                          bool route_scan = false) {
   ShardedEngineOptions options;
   options.shards = shards;
   options.routing = routing;
+  options.shard_threads = shard_threads;
+  options.route_scan = route_scan;
   options.engine = s.options;
   ShardedEngine engine(s.platform, factory_for(policy), options);
   engine.load(s.workload);
@@ -249,6 +279,81 @@ TEST(ShardedEngine, MergedOutputIsReproducibleForEveryRouting) {
       EXPECT_EQ(first, second)
           << "K=" << k << " routing " << to_string(routing);
       EXPECT_FALSE(first.empty());
+    }
+  }
+}
+
+TEST(ShardedEngine, ParallelAdvancementIsByteIdenticalToSequential) {
+  // The tentpole guarantee: shard_threads is purely a wall-clock knob.
+  // K x threads matrix over both a stateless routing and the
+  // state-dependent one, on a churn-availability fleet.
+  for (const int shards : {1, 2, 8}) {
+    for (const ShardRouting routing :
+         {ShardRouting::kHash, ShardRouting::kLeastLoaded}) {
+      const Scenario s = make_fleet_scenario(4242, /*with_availability=*/true);
+      const std::string sequential =
+          render_merged(s, "LS", shards, routing, /*shard_threads=*/1);
+      ASSERT_FALSE(sequential.empty());
+      for (const int threads : {2, 4}) {
+        EXPECT_EQ(render_merged(s, "LS", shards, routing, threads), sequential)
+            << "K=" << shards << " routing " << to_string(routing)
+            << " threads " << threads;
+      }
+      // 0 = hardware concurrency must also be byte-identical.
+      EXPECT_EQ(render_merged(s, "LS", shards, routing, /*shard_threads=*/0),
+                sequential)
+          << "K=" << shards << " routing " << to_string(routing) << " auto";
+    }
+  }
+}
+
+TEST(ShardedEngine, IncrementalLeastLoadedMatchesOriginalScan) {
+  // The cached-load router must reproduce the original per-injection O(K)
+  // engine scan decision for decision — the quantized releases give it
+  // multi-task epochs where the once-per-instant hoisting actually bites.
+  for (const std::uint64_t seed : {51ULL, 52ULL, 53ULL}) {
+    for (const int shards : {2, 8}) {
+      const Scenario s = make_fleet_scenario(seed, /*with_availability=*/true);
+      const std::string scan = render_merged(
+          s, "LS", shards, ShardRouting::kLeastLoaded, /*shard_threads=*/1,
+          /*route_scan=*/true);
+      for (const int threads : {1, 4}) {
+        EXPECT_EQ(render_merged(s, "LS", shards, ShardRouting::kLeastLoaded,
+                                threads, /*route_scan=*/false),
+                  scan)
+            << "seed " << seed << " K=" << shards << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, LazyAvailabilityMatchesMaterializedForkedSlicing) {
+  // Sharded lazy availability re-keys each local cursor to its global slave
+  // id, so it must be byte-identical to materializing the forked profiles
+  // up front and letting the partition slice them.
+  platform::LazyAvailabilitySpec spec;
+  spec.model = platform::AvailabilityModel::kChurn;
+  spec.mtbf = 8.0;
+  spec.outage_frac = 0.2;
+  spec.horizon = 60.0;
+  spec.seed = 97;
+
+  const Scenario base = make_fleet_scenario(7171, /*with_availability=*/false);
+  Scenario lazy = base;
+  lazy.options.lazy_availability = spec;
+  Scenario materialized = base;
+  materialized.options.availability =
+      platform::generate_availability_forked(spec, base.platform.size());
+
+  for (const int shards : {1, 2, 8}) {
+    for (const ShardRouting routing :
+         {ShardRouting::kHash, ShardRouting::kLeastLoaded}) {
+      for (const int threads : {1, 4}) {
+        EXPECT_EQ(render_merged(lazy, "LS", shards, routing, threads),
+                  render_merged(materialized, "LS", shards, routing, threads))
+            << "K=" << shards << " routing " << to_string(routing)
+            << " threads " << threads;
+      }
     }
   }
 }
@@ -305,11 +410,22 @@ TEST(ShardedEngine, GuardsMisuse) {
                  std::invalid_argument);
   }
   {
+    // The partition owns lazy-stream re-keying; a caller-supplied mapping
+    // would silently fight it, so it is rejected up front.
     ShardedEngineOptions options;
     options.shards = 1;
     options.engine = s.options;
     options.engine.lazy_availability.model =
         platform::AvailabilityModel::kChurn;
+    options.engine.lazy_stream_ids = {0};
+    EXPECT_THROW(ShardedEngine(s.platform, factory_for("LS"), options),
+                 std::invalid_argument);
+  }
+  {
+    ShardedEngineOptions options;
+    options.shards = 1;
+    options.shard_threads = -1;
+    options.engine = s.options;
     EXPECT_THROW(ShardedEngine(s.platform, factory_for("LS"), options),
                  std::invalid_argument);
   }
@@ -366,8 +482,11 @@ ScenarioGrid sharded_grid() {
   grid.loads = {0.9};
   grid.jitters = {0.0, 0.1};
   grid.port_capacities = {1};
+  grid.avails = {platform::AvailabilityModel::kAlways,
+                 platform::AvailabilityModel::kChurn};
   grid.engine_shards = 2;
   grid.shard_routing = "least-loaded";  // the state-dependent routing
+  grid.shard_threads = 2;               // pooled shard advancement
   return grid;
 }
 
@@ -427,17 +546,53 @@ TEST_F(ShardedRunnerTest, OutputIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(csv1, csv4);
   EXPECT_EQ(jsonl1, jsonl4);
   // The sharded cells really went through the sharded path: every data row
-  // carries the trailing engine_shards column.
+  // carries the trailing engine_shards,shard_threads columns.
   std::istringstream lines(csv1);
   std::string line;
   ASSERT_TRUE(std::getline(lines, line));
-  EXPECT_EQ(line.rfind(",engine_shards"), line.size() - 14);
+  const std::string tail = ",engine_shards,shard_threads";
+  ASSERT_GE(line.size(), tail.size());
+  EXPECT_EQ(line.rfind(tail), line.size() - tail.size());
   std::size_t rows = 0;
   while (std::getline(lines, line)) {
-    EXPECT_EQ(line.rfind(",2"), line.size() - 2) << line;
+    EXPECT_EQ(line.rfind(",2,2"), line.size() - 4) << line;
     ++rows;
   }
   EXPECT_GT(rows, 0u);
+}
+
+TEST_F(ShardedRunnerTest, ShardThreadsOnlyChangesItsEchoColumn) {
+  // The same grid at shard_threads 1 and 4 must produce identical results;
+  // only the trailing echo column may differ.
+  ScenarioGrid grid = sharded_grid();
+  grid.shard_threads = 1;
+  const auto [csv1, jsonl1] = checkpointed_run(grid, "st1", 2);
+  grid.shard_threads = 4;
+  const auto [csv4, jsonl4] = checkpointed_run(grid, "st4", 2);
+
+  const auto strip_last_csv_field = [](const std::string& text) {
+    std::istringstream lines(text);
+    std::string line, out;
+    while (std::getline(lines, line)) {
+      out += line.substr(0, line.rfind(','));
+      out += '\n';
+    }
+    return out;
+  };
+  const auto strip_shard_threads_json = [](const std::string& text) {
+    std::istringstream lines(text);
+    std::string line, out;
+    while (std::getline(lines, line)) {
+      const std::size_t at = line.rfind(",\"shard_threads\":");
+      EXPECT_NE(at, std::string::npos) << line;
+      out += line.substr(0, at);
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_NE(csv1, csv4);  // the echo column does differ...
+  EXPECT_EQ(strip_last_csv_field(csv1), strip_last_csv_field(csv4));
+  EXPECT_EQ(strip_shard_threads_json(jsonl1), strip_shard_threads_json(jsonl4));
 }
 
 TEST_F(ShardedRunnerTest, KillAndResumeReproducesUninterruptedRun) {
@@ -460,16 +615,20 @@ TEST_F(ShardedRunnerTest, ShardedGridRoundTripsThroughTextFormat) {
   const std::string text = serialize_grid(grid);
   EXPECT_NE(text.find("engine_shards = 2"), std::string::npos);
   EXPECT_NE(text.find("shard_routing = least-loaded"), std::string::npos);
+  EXPECT_NE(text.find("shard_threads = 2"), std::string::npos);
   const ScenarioGrid parsed = parse_grid(text);
   EXPECT_EQ(parsed.engine_shards, 2);
   EXPECT_EQ(parsed.shard_routing, "least-loaded");
+  EXPECT_EQ(parsed.shard_threads, 2);
   // Defaults serialize to nothing: legacy canonical text is unchanged.
   ScenarioGrid defaults = grid;
   defaults.engine_shards = 1;
   defaults.shard_routing = "hash";
+  defaults.shard_threads = 1;
   const std::string legacy = serialize_grid(defaults);
   EXPECT_EQ(legacy.find("engine_shards"), std::string::npos);
   EXPECT_EQ(legacy.find("shard_routing"), std::string::npos);
+  EXPECT_EQ(legacy.find("shard_threads"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// util::ThreadPool contract: every job index runs exactly once per batch,
+// the caller participates (width 1 spawns nothing and runs inline), run()
+// is a barrier, batches are reusable, and the lowest-index exception of a
+// batch is what the caller sees — the guarantees both ParallelRunner and
+// ShardedEngine's shard advancement lean on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace msol::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  for (const int width : {1, 2, 4}) {
+    ThreadPool pool(width);
+    EXPECT_EQ(pool.width(), width);
+    for (const std::size_t jobs : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{3}, std::size_t{64}}) {
+      std::vector<std::atomic<int>> hits(jobs);
+      for (auto& h : hits) h.store(0);
+      pool.run(jobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < jobs; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "width " << width << " job " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, WidthOneRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  std::mutex mutex;
+  pool.run(8, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(ThreadPool, SingleJobBatchesRunInline) {
+  // jobs == 1 never pays a wake-up: the caller runs the one job itself.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.run(1, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, RunIsABarrier) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.run(16, [&](std::size_t) { done.fetch_add(1); });
+  // All 16 jobs finished before run() returned.
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexError) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      pool.run(32, [&](std::size_t i) {
+        if (i == 3 || i == 17) {
+          throw std::runtime_error("job " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected the batch error to propagate";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "job 3");
+    }
+    // The pool survives an erroring batch and stays usable.
+    std::atomic<int> done{0};
+    pool.run(4, [&](std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 4);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  long long total = 0;
+  std::mutex mutex;
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.run(5, [&](std::size_t i) {
+      std::lock_guard<std::mutex> lock(mutex);
+      total += static_cast<long long>(i) + 1;
+    });
+  }
+  EXPECT_EQ(total, 200LL * (1 + 2 + 3 + 4 + 5));
+}
+
+TEST(ThreadPool, ZeroPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.width(), 1);
+  std::atomic<int> done{0};
+  pool.run(8, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+}  // namespace
+}  // namespace msol::util
