@@ -68,10 +68,18 @@ class AllFilter : public CandidateFilter {
                std::vector<core::SlaveId>& out) override {
     const core::SlaveStateView s = engine.slave_state();
     if (!s.empty()) {
-      // Dense sweep over the online byte array (or a straight fill when the
-      // engine reports everything online) instead of m virtual probes.
+      if (s.online == nullptr) {
+        // Everything online: bulk-fill 0..m-1 instead of m capacity-checked
+        // push_backs.
+        const std::size_t base = out.size();
+        out.resize(base + static_cast<std::size_t>(s.m));
+        std::iota(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+                  0);
+        return;
+      }
+      // Dense sweep over the online byte array instead of m virtual probes.
       for (core::SlaveId j = 0; j < s.m; ++j) {
-        if (s.online == nullptr || s.online[j] != 0) out.push_back(j);
+        if (s.online[j] != 0) out.push_back(j);
       }
       return;
     }
@@ -197,14 +205,24 @@ class StaticRanker : public Ranker {
   void score(const core::EngineView& engine, core::TaskId,
              const std::vector<core::SlaveId>& candidates,
              std::vector<double>& scores) override {
-    const platform::Platform& plat = engine.platform();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const core::SlaveId j = candidates[i];
-      switch (key_) {
-        case Key::kComp: scores[i] = plat.comp(j); break;
-        case Key::kComm: scores[i] = plat.comm(j); break;
-        case Key::kCommComp: scores[i] = plat.comm(j) + plat.comp(j); break;
-      }
+    // Gather from the platform's SoA mirrors (exact copies of the SlaveSpec
+    // fields) with the key switch hoisted: no bounds-checked at() call per
+    // candidate.
+    const core::Time* comm = engine.platform().comm_data();
+    const core::Time* comp = engine.platform().comp_data();
+    const std::size_t n = candidates.size();
+    switch (key_) {
+      case Key::kComp:
+        for (std::size_t i = 0; i < n; ++i) scores[i] = comp[candidates[i]];
+        break;
+      case Key::kComm:
+        for (std::size_t i = 0; i < n; ++i) scores[i] = comm[candidates[i]];
+        break;
+      case Key::kCommComp:
+        for (std::size_t i = 0; i < n; ++i) {
+          scores[i] = comm[candidates[i]] + comp[candidates[i]];
+        }
+        break;
     }
   }
 

@@ -119,6 +119,18 @@ class ComposedPolicy : public core::OnlineScheduler {
   core::Decision decide(const core::EngineView& engine) override;
   void reset() override;
 
+  /// reset() with a replacement seed: afterwards the policy decides exactly
+  /// as one freshly constructed from the spec with that seed (the only seed
+  /// consumer is the tie:rng stream, which reset() rebuilds from spec_.seed;
+  /// reset-equals-fresh for the other components is the engine-reuse
+  /// invariant the differential fuzz suite pins). The cached name()/
+  /// spec_string() keep the construction-time seed — callers that reseed
+  /// per evaluation (PortfolioPolicy's member cache) never read them.
+  void reseed(std::uint64_t seed) {
+    spec_.seed = seed;
+    reset();
+  }
+
  private:
   core::SlaveId select(const core::EngineView& engine);
 

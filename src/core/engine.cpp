@@ -50,6 +50,15 @@ void OnePortEngine::reset(platform::Platform platform,
   pending_dead_ = 0;
   pending_count_ = 0;
   load_stamp_ = 0;
+  // Subscribers re-opt-in per run: a reset engine must not keep paying for
+  // a feed nobody reads, and the generation bump tells any stale subscriber
+  // of a reused engine that its cursor belongs to a dead log.
+  delta_enabled_ = false;
+  delta_log_.clear();
+  delta_base_ = 0;
+  ++delta_gen_;
+  ready_stamp_ = 0;
+  avail_stamp_ = 0;
   port_busy_until_.clear();
   if (options_.port_capacity > 0) {
     port_busy_until_.assign(static_cast<std::size_t>(options_.port_capacity),
@@ -209,7 +218,24 @@ TaskId OnePortEngine::inject_task(TaskSpec spec) {
 namespace {
 /// Slots per live-count bucket; a power of two so slot -> bucket is a shift.
 constexpr std::size_t kPendingBucketShift = 6;  // 64 slots
+
+/// Delta-log cap: past this the oldest half is dropped (subscribers that
+/// lag behind delta_begin() rebuild). Sized so a subscriber syncing once
+/// per decision never comes close — decisions are at most one commit plus
+/// a handful of releases apart.
+constexpr std::size_t kDeltaLogCap = 1 << 16;
 }  // namespace
+
+void OnePortEngine::log_delta(const DeltaEvent& event) {
+  if (!delta_enabled_) return;
+  if (delta_log_.size() >= kDeltaLogCap) {
+    const std::size_t drop = delta_log_.size() / 2;
+    delta_log_.erase(delta_log_.begin(),
+                     delta_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    delta_base_ += drop;
+  }
+  delta_log_.push_back(event);
+}
 
 void OnePortEngine::pending_push_back(TaskId id) {
   const std::size_t slot = pending_slots_.size();
@@ -223,6 +249,10 @@ void OnePortEngine::pending_push_back(TaskId id) {
   ++pending_bucket_live_[bucket];
   ++pending_count_;
   ++load_stamp_;
+  DeltaEvent event;
+  event.kind = DeltaKind::kPendingPush;
+  event.task = id;
+  log_delta(event);
 }
 
 void OnePortEngine::pending_erase(TaskId id) {
@@ -299,6 +329,26 @@ void OnePortEngine::apply_avail_span(std::size_t j,
   const double was_speed = slave_speed_[j];
   slave_online_[j] = span.online ? 1 : 0;
   slave_speed_[j] = span.speed;
+  // Stamp + delta-log only the *observable* changes: an offline slave's
+  // cached speed shifting is invisible through current_speed() (it reports
+  // 0.0 while offline; the up-transition event carries the speed that then
+  // becomes visible).
+  if (was_online != span.online || (span.online && span.speed != was_speed)) {
+    ++avail_stamp_;
+    DeltaEvent event;
+    event.slave = static_cast<SlaveId>(j);
+    event.speed = span.speed;
+    if (was_online && !span.online) {
+      // The offline flush below re-queues tasks and rewrites this slave's
+      // ready estimate wholesale — logged as a rebuild marker, not a replay.
+      event.kind = DeltaKind::kDisrupt;
+    } else if (!was_online && span.online) {
+      event.kind = DeltaKind::kSlaveUp;
+    } else {
+      event.kind = DeltaKind::kSpeedShift;
+    }
+    log_delta(event);
+  }
   if (options_.enable_trace) {
     const SlaveId slave = static_cast<SlaveId>(j);
     if (was_online && !span.online) {
@@ -384,6 +434,7 @@ void OnePortEngine::handle_offline(SlaveId j, Time t) {
   doomed_partial_work_[js] = 0.0;
   chain_doomed_[js] = 0;
   slave_ready_[js] = t;
+  ++ready_stamp_;  // the kDisrupt event already covers the feed
   slave_act_busy_[js] = t;
 }
 
@@ -503,6 +554,18 @@ void OnePortEngine::commit(TaskId task_id, SlaveId slave) {
       events_.push(rec.comp_end, EventKind::kCompletion);
     }
   }
+
+  // One combined delta event covers the whole commit: the pending erase
+  // (pending_erase is only ever called from here) and the slave's new raw
+  // busy-until estimate, doomed-extrapolation included. Subscribers re-read
+  // port_free_at() at sync time, so the port write below needs no event.
+  ++ready_stamp_;
+  DeltaEvent event;
+  event.kind = DeltaKind::kCommit;
+  event.task = task_id;
+  event.slave = slave;
+  event.ready = slave_ready_[js];
+  log_delta(event);
 
   if (!port_busy_until_.empty()) {
     auto port = std::min_element(port_busy_until_.begin(),
@@ -732,8 +795,8 @@ void OnePortEngine::completion_if_assigned_batch(TaskId task,
   }
   const TaskSpec& spec = task_spec(task);
   const Time send_start = std::max({now_, port_free_at(), spec.release});
-  completion_gather(s, now_, send_start, spec.comm_factor, spec.comp_factor,
-                    slaves, n, out);
+  completion_gather_simd(s, now_, send_start, spec.comm_factor,
+                         spec.comp_factor, slaves, n, out);
 }
 
 SlaveId OnePortEngine::best_completion_slave(TaskId task) const {

@@ -42,6 +42,32 @@ struct SlowdownWindow {
 double slowdown_factor_at(const std::vector<SlowdownWindow>& windows,
                           SlaveId slave, Time comp_start);
 
+/// What one entry of OnePortEngine's delta feed records (see
+/// enable_delta_feed()). The feed is the engine's incremental-observer
+/// protocol: every event that changes a scheduler-visible observable other
+/// than now() is appended, so a subscriber that replays the suffix since its
+/// last sync (and re-reads now()/port_free_at(), which advance silently)
+/// holds exactly the state a fresh snapshot would capture. kDisrupt is the
+/// deliberate exception: an offline transition re-queues tasks and rewrites
+/// ready times wholesale, so it is logged as a single "resync from scratch"
+/// marker instead of an event-per-effect replay.
+enum class DeltaKind : std::uint8_t {
+  kPendingPush,  ///< task joined the pending set (release or re-queue)
+  kCommit,       ///< task left pending; slave's busy-until advanced to ready
+  kSlaveUp,      ///< slave came back online at `speed`
+  kSpeedShift,   ///< online slave's speed changed to `speed`
+  kDisrupt,      ///< offline transition: subscribers must rebuild
+};
+
+/// One delta-feed entry; which fields are meaningful depends on `kind`.
+struct DeltaEvent {
+  DeltaKind kind = DeltaKind::kPendingPush;
+  TaskId task = -1;    ///< kPendingPush / kCommit
+  SlaveId slave = -1;  ///< kCommit / kSlaveUp / kSpeedShift / kDisrupt
+  Time ready = 0.0;    ///< kCommit: the slave's new raw busy-until estimate
+  double speed = 1.0;  ///< kSlaveUp / kSpeedShift: the new speed
+};
+
 /// Which EventQueue implementation an engine uses. kAuto resolves to the
 /// calendar queue unless the build was configured with
 /// -DMSOL_HEAP_EVENT_QUEUE (the build-level escape hatch that flips every
@@ -219,6 +245,45 @@ class OnePortEngine final : public EngineView {
   /// reapplies as max(cached, current epoch instant).
   std::uint64_t load_stamp() const { return load_stamp_; }
 
+  /// --- delta feed (incremental observers) ---------------------------------
+  ///
+  /// Per-field change stamps extending the load_stamp() pattern, plus an
+  /// epoch log of the events behind them, so a subscriber (the meta layer's
+  /// IncrementalProjection) can resync its mirror of the observables by
+  /// replaying [its cursor, delta_end()) instead of re-snapshotting the
+  /// ready/online/speed arrays and re-walking the pending set per decision.
+  ///
+  /// Logging is off until a subscriber opts in (the log would otherwise grow
+  /// for nothing); enabling is idempotent and const because subscribers hold
+  /// the engine through a const EngineView. reset() disables the feed,
+  /// clears the log, and bumps delta_generation() so a stale subscriber of a
+  /// reused engine can never mistake the fresh log for its own suffix. The
+  /// log is bounded: past a cap the oldest half is dropped and
+  /// delta_begin() advances — a subscriber whose cursor fell behind
+  /// delta_begin() must rebuild from the regular observables.
+
+  /// Starts recording delta events (no-op when already recording).
+  void enable_delta_feed() const { delta_enabled_ = true; }
+  /// Bumped by every reset(): events of different generations never splice.
+  std::uint64_t delta_generation() const { return delta_gen_; }
+  /// Sequence number of the oldest retained event.
+  std::uint64_t delta_begin() const { return delta_base_; }
+  /// One past the newest event's sequence number.
+  std::uint64_t delta_end() const { return delta_base_ + delta_log_.size(); }
+  /// Event by sequence number; seq must be in [delta_begin(), delta_end()).
+  const DeltaEvent& delta_event(std::uint64_t seq) const {
+    return delta_log_[static_cast<std::size_t>(seq - delta_base_)];
+  }
+  /// Monotone stamp of the slave busy-until array: bumped by every
+  /// slave_ready_ write (commits and offline flushes), never by pure time
+  /// advancement — slave_ready_at() results are reproducible from a cached
+  /// raw value while the stamp holds (modulo the max(now, raw) clamp, which
+  /// the caller reapplies).
+  std::uint64_t ready_stamp() const { return ready_stamp_; }
+  /// Monotone stamp of the observable availability state: bumped whenever
+  /// some slave's is_available()/current_speed() changes.
+  std::uint64_t avail_stamp() const { return avail_stamp_; }
+
   /// --- EngineView (the scheduler/adversary observables) -------------------
 
   Time now() const override { return now_; }
@@ -269,6 +334,10 @@ class OnePortEngine final : public EngineView {
   /// stale calendar entries, hence non-const.
   std::optional<Time> next_wakeup();
 
+  /// Appends to the delta log when the feed is enabled (see
+  /// enable_delta_feed()); trims the oldest half at the cap.
+  void log_delta(const DeltaEvent& event);
+
   /// O(1) amortized pending-set maintenance (bucketed slot index).
   void pending_push_back(TaskId id);
   void pending_erase(TaskId id);
@@ -312,6 +381,16 @@ class OnePortEngine final : public EngineView {
   int pending_dead_ = 0;
   int pending_count_ = 0;
   std::uint64_t load_stamp_ = 0;  ///< see load_stamp()
+
+  /// --- delta feed state (see the accessor block above) --------------------
+  /// mutable: a const subscriber view opts in; recording itself happens
+  /// only inside the non-const mutation paths.
+  mutable bool delta_enabled_ = false;
+  std::vector<DeltaEvent> delta_log_;
+  std::uint64_t delta_base_ = 0;
+  std::uint64_t delta_gen_ = 0;
+  std::uint64_t ready_stamp_ = 0;
+  std::uint64_t avail_stamp_ = 0;
 
   std::vector<Time> port_busy_until_;  ///< size == port_capacity (1+)
   std::vector<Time> slave_ready_;

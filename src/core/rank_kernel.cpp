@@ -3,6 +3,13 @@
 #include <cstring>
 #include <limits>
 
+// (MSOL_RANK_KERNEL_SIMD is defined further down, next to the rationale;
+// the gather kernels additionally need the intrinsic headers because
+// vgatherdpd has no GNU-vector-extension spelling.)
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace msol::core {
 
 namespace {
@@ -189,6 +196,126 @@ __attribute__((target("avx512f"))) void completion_batch_avx512(
   }
 }
 
+/// Gather-form AVX2 kernel: 4 candidate ids per group. Loads go through
+/// vgatherdpd (SlaveId is 32-bit int, so a 128-bit lane of 4 ids indexes a
+/// 256-bit gather); the arithmetic then moves into the same GNU-vector
+/// types and vmax as the dense kernel, so every lane performs exactly the
+/// scalar gather's operation sequence. Offline candidates are handled
+/// branch-free: the gathered lanes compute garbage-but-finite values that a
+/// blendv against the widened online bytes replaces with +infinity —
+/// bit-identical to the scalar loop's early-out, and the reason this kernel
+/// does NOT delegate on `online != nullptr` like the dense ones do.
+__attribute__((target("avx2"))) void completion_gather_avx2(
+    const SlaveStateView& s, Time now, Time send_start, double comm_factor,
+    double comp_factor, const SlaveId* ids, int n, Time* out) {
+  const Time inf = std::numeric_limits<Time>::infinity();
+  const Vd4 vnow = {now, now, now, now};
+  const Vd4 vsend = {send_start, send_start, send_start, send_start};
+  const Vd4 vcf = {comm_factor, comm_factor, comm_factor, comm_factor};
+  const Vd4 vpf = {comp_factor, comp_factor, comp_factor, comp_factor};
+  const __m256d vinf = _mm256_set1_pd(inf);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i idx;
+    std::memcpy(&idx, ids + i, sizeof idx);
+    Vd4 comm, comp, ready;
+    const __m256d gcomm = _mm256_i32gather_pd(s.comm, idx, 8);
+    const __m256d gcomp = _mm256_i32gather_pd(s.comp, idx, 8);
+    const __m256d gready = _mm256_i32gather_pd(s.ready, idx, 8);
+    std::memcpy(&comm, &gcomm, sizeof comm);
+    std::memcpy(&comp, &gcomp, sizeof comp);
+    std::memcpy(&ready, &gready, sizeof ready);
+    const Vd4 send_end = vsend + comm * vcf;
+    const Vd4 comp_start = vmax(send_end, vmax(vnow, ready));
+    const Vd4 completion = comp_start + comp * vpf;
+    if (s.online == nullptr) {
+      std::memcpy(out + i, &completion, sizeof completion);
+      continue;
+    }
+    // Widen the 4 online bytes to 64-bit lanes; a zero lane (offline)
+    // selects +infinity in the blend.
+    const std::uint32_t packed =
+        static_cast<std::uint32_t>(s.online[ids[i]]) |
+        static_cast<std::uint32_t>(s.online[ids[i + 1]]) << 8 |
+        static_cast<std::uint32_t>(s.online[ids[i + 2]]) << 16 |
+        static_cast<std::uint32_t>(s.online[ids[i + 3]]) << 24;
+    const __m256i lanes =
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+    const __m256d offline = _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(lanes, _mm256_setzero_si256()));
+    __m256d result;
+    std::memcpy(&result, &completion, sizeof result);
+    result = _mm256_blendv_pd(result, vinf, offline);
+    std::memcpy(out + i, &result, sizeof result);
+  }
+  for (; i < n; ++i) {  // scalar tail, same operation sequence
+    const SlaveId j = ids[i];
+    if (s.online != nullptr && s.online[j] == 0) {
+      out[i] = inf;
+      continue;
+    }
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    out[i] = comp_start + s.comp[j] * comp_factor;
+  }
+}
+
+/// Gather-form AVX-512 kernel: 8 ids per group through _mm512_i32gather_pd,
+/// offline lanes mask-blended to +infinity via a scalar-built __mmask8
+/// (8 byte loads beat a masked 512-bit byte gather at this width). Same
+/// bit-identity contract as the AVX2 form; -ffp-contract=off on this TU
+/// keeps the avx512f target from contracting the mul+add chains.
+__attribute__((target("avx512f"))) void completion_gather_avx512(
+    const SlaveStateView& s, Time now, Time send_start, double comm_factor,
+    double comp_factor, const SlaveId* ids, int n, Time* out) {
+  const Time inf = std::numeric_limits<Time>::infinity();
+  const Vd8 vnow = {now, now, now, now, now, now, now, now};
+  const Vd8 vsend = {send_start, send_start, send_start, send_start,
+                     send_start, send_start, send_start, send_start};
+  const Vd8 vcf = {comm_factor, comm_factor, comm_factor, comm_factor,
+                   comm_factor, comm_factor, comm_factor, comm_factor};
+  const Vd8 vpf = {comp_factor, comp_factor, comp_factor, comp_factor,
+                   comp_factor, comp_factor, comp_factor, comp_factor};
+  const __m512d vinf = _mm512_set1_pd(inf);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i idx;
+    std::memcpy(&idx, ids + i, sizeof idx);
+    Vd8 comm, comp, ready;
+    const __m512d gcomm = _mm512_i32gather_pd(idx, s.comm, 8);
+    const __m512d gcomp = _mm512_i32gather_pd(idx, s.comp, 8);
+    const __m512d gready = _mm512_i32gather_pd(idx, s.ready, 8);
+    std::memcpy(&comm, &gcomm, sizeof comm);
+    std::memcpy(&comp, &gcomp, sizeof comp);
+    std::memcpy(&ready, &gready, sizeof ready);
+    const Vd8 send_end = vsend + comm * vcf;
+    const Vd8 comp_start = vmax8(send_end, vmax8(vnow, ready));
+    const Vd8 completion = comp_start + comp * vpf;
+    __m512d result;
+    std::memcpy(&result, &completion, sizeof result);
+    if (s.online != nullptr) {
+      __mmask8 offline = 0;
+      for (int l = 0; l < 8; ++l) {
+        if (s.online[ids[i + l]] == 0) {
+          offline = static_cast<__mmask8>(offline | (1u << l));
+        }
+      }
+      result = _mm512_mask_blend_pd(offline, result, vinf);
+    }
+    std::memcpy(out + i, &result, sizeof result);
+  }
+  for (; i < n; ++i) {  // scalar tail, same operation sequence
+    const SlaveId j = ids[i];
+    if (s.online != nullptr && s.online[j] == 0) {
+      out[i] = inf;
+      continue;
+    }
+    const Time send_end = send_start + s.comm[j] * comm_factor;
+    const Time comp_start = tmax(send_end, tmax(now, s.ready[j]));
+    out[i] = comp_start + s.comp[j] * comp_factor;
+  }
+}
+
 }  // namespace
 #endif  // MSOL_RANK_KERNEL_SIMD
 
@@ -239,6 +366,61 @@ void completion_batch_width(RankKernelWidth width, const SlaveStateView& s,
 #endif
   // kScalar, an unavailable ISA, or a view with availability state.
   completion_batch(s, now, send_start, comm_factor, comp_factor, out);
+}
+
+void completion_gather_simd(const SlaveStateView& s, Time now, Time send_start,
+                            double comm_factor, double comp_factor,
+                            const SlaveId* ids, int n, Time* out) {
+#ifndef MSOL_RANK_KERNEL_SIMD
+  completion_gather(s, now, send_start, comm_factor, comp_factor, ids, n, out);
+#else
+  if (s.speed != nullptr) {
+    // Per-lane divides; the scalar loop handles them. (Online state does
+    // NOT delegate here — the gather kernels blend offline lanes to
+    // +infinity themselves.)
+    completion_gather(s, now, send_start, comm_factor, comp_factor, ids, n,
+                      out);
+    return;
+  }
+  if (rank_kernel_avx512_available()) {
+    completion_gather_avx512(s, now, send_start, comm_factor, comp_factor, ids,
+                             n, out);
+    return;
+  }
+  if (rank_kernel_simd_available()) {
+    completion_gather_avx2(s, now, send_start, comm_factor, comp_factor, ids,
+                           n, out);
+    return;
+  }
+  completion_gather(s, now, send_start, comm_factor, comp_factor, ids, n, out);
+#endif
+}
+
+void completion_gather_width(RankKernelWidth width, const SlaveStateView& s,
+                             Time now, Time send_start, double comm_factor,
+                             double comp_factor, const SlaveId* ids, int n,
+                             Time* out) {
+  if (width == RankKernelWidth::kAuto) {
+    completion_gather_simd(s, now, send_start, comm_factor, comp_factor, ids,
+                           n, out);
+    return;
+  }
+#ifdef MSOL_RANK_KERNEL_SIMD
+  if (s.speed == nullptr) {
+    if (width == RankKernelWidth::kAvx512 && rank_kernel_avx512_available()) {
+      completion_gather_avx512(s, now, send_start, comm_factor, comp_factor,
+                               ids, n, out);
+      return;
+    }
+    if (width == RankKernelWidth::kAvx2 && rank_kernel_simd_available()) {
+      completion_gather_avx2(s, now, send_start, comm_factor, comp_factor, ids,
+                             n, out);
+      return;
+    }
+  }
+#endif
+  // kScalar, an unavailable ISA, or a view with per-slave speeds.
+  completion_gather(s, now, send_start, comm_factor, comp_factor, ids, n, out);
 }
 
 SlaveId rank_best_completion(const SlaveStateView& s, Time now,

@@ -105,4 +105,27 @@ void completion_batch_width(RankKernelWidth width, const SlaveStateView& s,
                             Time now, Time send_start, double comm_factor,
                             double comp_factor, Time* out);
 
+/// Explicitly vectorized completion_gather: hardware gathers
+/// (vgatherdpd — SlaveId is 32-bit, so 4/8 ids feed one i32gather) pull the
+/// candidate subset's comm/comp/ready lanes, then the lane arithmetic is
+/// the exact sequence of the batch kernels above, so the output is
+/// bit-identical to the scalar gather (memcmp-pinned in
+/// tests/test_rank_kernel_simd.cpp). Unlike the dense-batch kernels, views
+/// WITH an `online` array stay vectorized: offline lanes are blended to
+/// +infinity branch-free, matching the scalar loop's early-out bit-for-bit —
+/// this is what lets the meta layer's incremental projections (whose
+/// platforms carry availability) run their probe hot path 4/8-wide. Views
+/// with a `speed` array delegate to the scalar form (per-lane divides).
+void completion_gather_simd(const SlaveStateView& s, Time now, Time send_start,
+                            double comm_factor, double comp_factor,
+                            const SlaveId* ids, int n, Time* out);
+
+/// completion_gather through one pinned kernel body (see RankKernelWidth);
+/// kAuto dispatches like completion_gather_simd, and unavailable ISAs fall
+/// back to scalar, so every width is memcmp-comparable on the same host.
+void completion_gather_width(RankKernelWidth width, const SlaveStateView& s,
+                             Time now, Time send_start, double comm_factor,
+                             double comp_factor, const SlaveId* ids, int n,
+                             Time* out);
+
 }  // namespace msol::core

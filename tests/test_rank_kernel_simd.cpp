@@ -2,10 +2,14 @@
 // branch-free scalar loop: completion_batch_simd promises memcmp equality
 // with completion_batch on every input (same multiplies, adds, and max
 // selections per lane, no FMA contraction), and delegates to the scalar
-// form whenever the view carries availability state.
+// form whenever the view carries availability state. The gather form
+// (completion_gather_simd, hardware vgatherdpd over candidate subsets) is
+// pinned the same way — including on online-masked views, which it keeps
+// vectorized by blending offline lanes to +infinity.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -140,6 +144,116 @@ TEST(RankKernelSimd, DelegatesOnAvailabilityViews) {
   }
 }
 
+// ----------------------------------------------------------- gather form ----
+
+/// Candidate-id subsets over an m-slave view: the shapes the meta layer's
+/// incremental projections actually emit (empty, a singleton probe, strided
+/// sub-fleets, the full sweep) plus random draws with repeats.
+std::vector<std::vector<SlaveId>> gather_subsets(int m, util::Rng& rng) {
+  std::vector<std::vector<SlaveId>> subsets;
+  subsets.emplace_back();  // empty
+  if (m == 0) return subsets;
+  subsets.push_back({static_cast<SlaveId>(m / 2)});  // singleton
+  for (const int stride : {2, 3}) {                  // strided
+    std::vector<SlaveId> ids;
+    for (int j = 0; j < m; j += stride) ids.push_back(j);
+    subsets.push_back(std::move(ids));
+  }
+  std::vector<SlaveId> full(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) full[static_cast<std::size_t>(j)] = j;
+  subsets.push_back(std::move(full));
+  std::vector<SlaveId> random;  // repeats allowed: gathers must not care
+  for (int i = 0; i < m + 3; ++i) {
+    random.push_back(
+        static_cast<SlaveId>(rng.uniform_int(0, static_cast<std::int64_t>(m) - 1)));
+  }
+  subsets.push_back(std::move(random));
+  return subsets;
+}
+
+TEST(RankKernelSimd, GatherIsBitIdenticalToScalarAcrossSubsetShapes) {
+  util::Rng rng(4242);
+  // Fleet sizes straddle the 4/8/16-lane groups so the subset lengths above
+  // cover every vector-body count and tail length modulo 4 and 8.
+  for (int m : {0, 1, 3, 4, 5, 8, 9, 15, 16, 17, 33, 64, 257}) {
+    const DenseState state(m, rng);
+    for (const std::vector<SlaveId>& ids : gather_subsets(m, rng)) {
+      const int n = static_cast<int>(ids.size());
+      for (int rep = 0; rep < 3; ++rep) {
+        const Time now = rng.uniform(0.0, 1000.0);
+        const Time send_start = now + rng.uniform(0.0, 10.0);
+        const double cf = rng.uniform(0.5, 2.0);
+        const double pf = rng.uniform(0.5, 2.0);
+        // Online views STAY vectorized in the gather form (offline lanes
+        // blend to +infinity); only speed views delegate. Pin all four.
+        for (const bool with_online : {false, true}) {
+          for (const bool with_speed : {false, true}) {
+            const SlaveStateView v = state.view(with_online, with_speed);
+            std::vector<Time> scalar(static_cast<std::size_t>(n), -1.0);
+            std::vector<Time> simd(static_cast<std::size_t>(n), -2.0);
+            completion_gather(v, now, send_start, cf, pf, ids.data(), n,
+                              scalar.data());
+            completion_gather_simd(v, now, send_start, cf, pf, ids.data(), n,
+                                   simd.data());
+            expect_bitwise_equal(scalar, simd);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RankKernelSimd, EveryPinnedGatherWidthIsBitIdenticalToScalar) {
+  // Transitively pins AVX-512 gathers == AVX2 gathers == the scalar loop,
+  // on both null-online and masked-online views.
+  util::Rng rng(4243);
+  for (int m : {1, 4, 7, 8, 16, 17, 31, 100}) {
+    const DenseState state(m, rng);
+    for (const std::vector<SlaveId>& ids : gather_subsets(m, rng)) {
+      const int n = static_cast<int>(ids.size());
+      const Time now = rng.uniform(0.0, 1000.0);
+      const Time send_start = now + rng.uniform(0.0, 10.0);
+      for (const bool with_online : {false, true}) {
+        const SlaveStateView v = state.view(with_online, false);
+        std::vector<Time> scalar(static_cast<std::size_t>(n), -1.0);
+        completion_gather(v, now, send_start, 1.5, 0.75, ids.data(), n,
+                          scalar.data());
+        for (const RankKernelWidth width :
+             {RankKernelWidth::kAuto, RankKernelWidth::kScalar,
+              RankKernelWidth::kAvx2, RankKernelWidth::kAvx512}) {
+          std::vector<Time> out(static_cast<std::size_t>(n), -2.0);
+          completion_gather_width(width, v, now, send_start, 1.5, 0.75,
+                                  ids.data(), n, out.data());
+          expect_bitwise_equal(scalar, out);
+        }
+      }
+    }
+  }
+}
+
+TEST(RankKernelSimd, GatherDelegatesOnSpeedViews) {
+  // A speed array means per-lane divides — the one view the gather kernels
+  // hand back to the scalar loop, at every pinned width.
+  util::Rng rng(4244);
+  const int m = 29;
+  const DenseState state(m, rng);
+  std::vector<SlaveId> ids;
+  for (int j = 0; j < m; ++j) ids.push_back(j);
+  for (const bool with_online : {false, true}) {
+    const SlaveStateView v = state.view(with_online, true);
+    std::vector<Time> scalar(static_cast<std::size_t>(m));
+    completion_gather(v, 5.0, 6.0, 1.5, 0.75, ids.data(), m, scalar.data());
+    for (const RankKernelWidth width :
+         {RankKernelWidth::kAuto, RankKernelWidth::kAvx2,
+          RankKernelWidth::kAvx512}) {
+      std::vector<Time> out(static_cast<std::size_t>(m));
+      completion_gather_width(width, v, 5.0, 6.0, 1.5, 0.75, ids.data(), m,
+                              out.data());
+      expect_bitwise_equal(scalar, out);
+    }
+  }
+}
+
 TEST(RankKernelSimd, AvailabilityFlagIsStable) {
   // Whatever this host reports, it must report consistently — the bench
   // prints it per run and the kernel dispatches on it per call.
@@ -151,7 +265,9 @@ TEST(RankKernelSimd, AvailabilityFlagIsStable) {
   }
   // No known x86-64 reports AVX-512F without AVX2; the dispatch order
   // (avx512 -> avx2 -> scalar) leans on the implication.
-  if (avx512) EXPECT_TRUE(first);
+  if (avx512) {
+    EXPECT_TRUE(first);
+  }
 }
 
 }  // namespace
